@@ -1,0 +1,22 @@
+"""E10 — ablation of the EPTAS design choices (priority cap, MILP backend, search)."""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e10_ablation
+
+
+def test_e10_ablation(run_once):
+    table = run_once(experiment_e10_ablation, quick=True)
+    print()
+    print(table.to_text())
+    rows = {row["variant"]: row for row in table.rows}
+    assert len(rows) == 5
+    # Every variant keeps the guarantee budget for eps = 1/4.
+    for row in rows.values():
+        assert row["ratio"] <= 1 + 2 * 0.25 + 0.25**2 + 1e-6
+    # A larger priority cap never shrinks the MILP.
+    assert rows["priority cap = 12"]["patterns"] >= rows["priority cap = 1"]["patterns"]
+    # The two MILP oracles agree on quality (they solve the same model).
+    assert abs(
+        rows["own branch-and-bound MILP"]["ratio"] - rows["default (cap=3, scipy)"]["ratio"]
+    ) <= 0.15

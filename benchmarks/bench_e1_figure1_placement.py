@@ -1,0 +1,26 @@
+"""E1 — Figure 1: the placement of large jobs matters.
+
+Regenerates the Figure-1 comparison: a naive placement packs large jobs to
+height OPT and is then forced to stack the full bag of small jobs, while the
+bag-aware algorithms achieve the optimum.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e1_figure1_placement
+
+
+def test_e1_figure1_placement(run_once):
+    table = run_once(experiment_e1_figure1_placement, quick=True)
+    print()
+    print(table.to_text())
+    for row in table.rows:
+        optimum = row["optimum"]
+        # The naive first-fit placement pays the Figure-1 penalty...
+        assert row["first_fit"] > optimum + 1e-9
+        # ...while the EPTAS (and LPT, which is optimal on this family)
+        # achieve the optimum.
+        assert row["eptas(0.25)"] <= optimum + 1e-9
+        assert row["lpt"] <= optimum + 1e-9
+        # Greedy in arrival order is between the two extremes.
+        assert row["greedy_list"] <= 2 * optimum + 1e-9

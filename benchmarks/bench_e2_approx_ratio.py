@@ -1,0 +1,29 @@
+"""E2 — Theorem 1: measured approximation ratios against the exact optimum.
+
+The EPTAS must stay within its (1 + O(eps)) budget and must not lose to the
+2-approximation baselines on any family.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e2_approximation_ratio
+
+
+def test_e2_approximation_ratio(run_once):
+    table = run_once(experiment_e2_approximation_ratio, quick=True)
+    print()
+    print(table.to_text())
+    for row in table.rows:
+        for eps, budget in ((0.5, 1 + 2 * 0.5 + 0.5**2), (0.25, 1 + 2 * 0.25 + 0.25**2)):
+            ratio = row[f"eptas({eps:g})"]
+            # Theorem 1 guarantee (with the paper's explicit budget constant).
+            assert ratio <= budget + 1e-6
+            # The EPTAS should not lose to plain greedy list scheduling.
+            assert ratio <= row["greedy_list"] + 1e-6
+        # Baselines stay within their own factor-2 guarantee.
+        assert row["greedy_list"] <= 2.0 + 1e-6
+        assert row["coloring"] <= 2.0 + 1e-6
+    # On the adversarial figure1 family the EPTAS is optimal while greedy is not.
+    figure1 = next(row for row in table.rows if row["family"] == "figure1")
+    assert figure1["eptas(0.25)"] <= 1.0 + 1e-6
+    assert figure1["greedy_list"] >= 1.25

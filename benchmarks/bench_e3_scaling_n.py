@@ -1,0 +1,31 @@
+"""E3 — running-time scaling with the number of jobs at fixed eps.
+
+The exact MILP blows up first; the EPTAS stays polynomial in n because its
+integral dimension depends only on eps (and the practical priority cap).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e3_scaling_with_n
+
+
+def test_e3_scaling_with_n(run_once):
+    table = run_once(experiment_e3_scaling_with_n, quick=True)
+    print()
+    print(table.to_text())
+    rows = table.rows
+    assert len(rows) >= 3
+    largest = rows[-1]
+    # The EPTAS handles the largest instance in reasonable time while still
+    # delivering a near-optimal schedule (ratio measured against the best
+    # available reference).
+    assert largest["eptas_time"] < 60.0
+    assert largest["eptas_ratio"] <= 1.6
+    # Quality does not degrade with n: the EPTAS is never worse than LPT by
+    # more than a whisker on any size.
+    for row in rows:
+        assert row["eptas_ratio"] <= row["lpt_ratio"] + 0.05
+    # The exact solver was only affordable on the small sizes (the harness
+    # caps it), which is exactly the crossover the experiment demonstrates.
+    assert rows[-1]["exact_time"] is None
+    assert rows[0]["exact_time"] is not None

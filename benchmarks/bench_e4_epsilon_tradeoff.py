@@ -1,0 +1,23 @@
+"""E4 — accuracy-versus-cost trade-off in eps on a fixed instance."""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e4_epsilon_tradeoff
+
+
+def test_e4_epsilon_tradeoff(run_once):
+    table = run_once(experiment_e4_epsilon_tradeoff, quick=True)
+    print()
+    print(table.to_text())
+    rows = table.rows
+    # Every run respects its own budget.
+    for row in rows:
+        assert row["ratio"] <= row["guarantee"] + 1e-6
+    # The MILP grows as eps shrinks (patterns and integral variables are
+    # non-decreasing along the eps sweep 1 -> 1/2 -> 1/4).
+    patterns = [row["patterns"] or 0 for row in rows]
+    assert patterns == sorted(patterns)
+    integer_vars = [row["integer_vars"] or 0 for row in rows]
+    assert integer_vars == sorted(integer_vars)
+    # The smallest eps is at least as accurate as the coarsest one.
+    assert rows[-1]["ratio"] <= rows[0]["ratio"] + 1e-6

@@ -1,0 +1,22 @@
+"""E5 — Lemma 2: the instance transformation costs at most a (1+eps) factor."""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e5_transformation_overhead
+
+
+def test_e5_transformation_overhead(run_once):
+    table = run_once(experiment_e5_transformation_overhead, quick=True)
+    print()
+    print(table.to_text())
+    assert table.rows
+    split_seen = False
+    for row in table.rows:
+        assert row["within_bound"] is True
+        assert row["inflation"] <= row["lemma2_bound"] + 1e-9
+        if row["non_priority_bags_split"] > 0:
+            split_seen = True
+            # Splitting a bag adds exactly one filler per large/medium job.
+            assert row["filler_jobs"] >= row["non_priority_bags_split"]
+    # The family is constructed so the transformation actually fires.
+    assert split_seen

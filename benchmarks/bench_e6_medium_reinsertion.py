@@ -1,0 +1,24 @@
+"""E6 — Lemmas 3 & 4: medium-job re-insertion via flows and the filler revert."""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e6_medium_reinsertion
+
+
+def test_e6_medium_reinsertion(run_once):
+    table = run_once(experiment_e6_medium_reinsertion, quick=True)
+    print()
+    print(table.to_text())
+    assert table.rows
+    reinserted_any = False
+    for row in table.rows:
+        if row["medium_jobs_reinserted"] > 0:
+            reinserted_any = True
+        # Lemma 3: the makespan increase stays within 2*eps (plus the size of
+        # a single medium job as slack for the integral rounding).
+        assert row["lemma3_increase"] <= row["lemma3_bound"] + 0.26
+        # Lemma 4: reverting never increases the makespan and is conflict-free.
+        assert row["revert_conflict_free"] is True
+        assert row["revert_within_augmented"] is True
+    # The crafted family guarantees medium jobs in non-priority bags.
+    assert reinserted_any

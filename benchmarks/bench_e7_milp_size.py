@@ -1,0 +1,29 @@
+"""E7 — Lemma 6: the size of the configuration MILP as eps shrinks.
+
+The theory columns reproduce the 2^{O(...)} blow-up of the paper's analysis;
+the measured columns show the practical-constants MILP the implementation
+actually solves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e7_milp_size
+
+
+def test_e7_milp_size(run_once):
+    table = run_once(experiment_e7_milp_size, quick=True)
+    print()
+    print(table.to_text())
+    rows = table.rows
+    assert len(rows) >= 3
+    # Theory constants explode monotonically as eps decreases.
+    theory_bprime = [row["theory_b_prime"] for row in rows]
+    assert theory_bprime == sorted(theory_bprime)
+    assert theory_bprime[-1] > 1e6  # the Lemma-6 blow-up is visible already at eps=1/4
+    log_patterns = [row["theory_log10_patterns"] for row in rows]
+    assert log_patterns == sorted(log_patterns)
+    # The measured (practical-constants) MILP stays laptop-sized and feasible.
+    for row in rows:
+        assert row["milp_feasible"] is True
+        assert row["measured_patterns"] < 100_000
+        assert row["measured_integer_vars"] < 100_000

@@ -1,0 +1,19 @@
+"""E8 — Lemmas 7 & 11: conflict-repair statistics of the EPTAS."""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e8_repair_statistics
+
+
+def test_e8_repair_statistics(run_once):
+    table = run_once(experiment_e8_repair_statistics, quick=True)
+    print()
+    print(table.to_text())
+    assert table.rows
+    for row in table.rows:
+        # The paper's invariant: after repair the schedule is conflict-free.
+        assert row["residual_conflicts"] == 0
+        # Repair effort is bounded (each conflict is fixed by at most one
+        # swap/relocation, so the counters stay small on these instances).
+        assert row["mean_lemma7_swaps"] < 50
+        assert row["mean_lemma11_conflicts"] < 50

@@ -1,0 +1,22 @@
+"""E9 — the introduction's motivation: replica survivability under failures."""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_e9_fault_tolerance
+
+
+def test_e9_fault_tolerance(run_once):
+    table = run_once(experiment_e9_fault_tolerance, quick=True)
+    print()
+    print(table.to_text())
+    assert table.rows
+    for row in table.rows:
+        # Bag-constrained schedules never lose a whole service to a single
+        # machine failure, so their survivability dominates the oblivious
+        # packing and is perfect for one failure.
+        assert row["survivability_with_bags"] >= row["survivability_without_bags"] - 1e-9
+        if row["machine_failures"] == 1:
+            assert row["survivability_with_bags"] == 1.0
+    # Separating replicas costs at most a modest makespan premium.
+    for row in table.rows:
+        assert row["makespan_with_bags"] <= 1.6 * row["makespan_without_bags"]

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one experiment table from DESIGN.md (E1…E10) and
+asserts the *shape* the paper predicts (who wins, what grows, what stays
+bounded) rather than absolute numbers.  Benchmarks execute the experiment
+exactly once per run via ``benchmark.pedantic`` — the experiments are
+themselves timing studies, so repeating them inside the timer would only
+double-count.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,74 @@
+"""Explore the accuracy-versus-cost trade-off of the EPTAS in eps.
+
+The EPTAS guarantees a makespan of at most (1 + O(eps)) * OPT in time
+f(1/eps) * poly(n).  This example makes both halves of that statement
+tangible on one instance:
+
+* the measured approximation ratio as eps shrinks, and
+* the size of the configuration MILP (patterns, integral variables) plus the
+  wall-clock time — the f(1/eps) part — including the *theory* constants of
+  Lemma 6 that explain why practical constants are used (experiment E7).
+
+Run with::
+
+    python examples/epsilon_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.eptas import eptas_schedule, normalise_eps, theory_constants_report
+from repro.exact import exact_milp_schedule
+from repro.experiments.tables import ExperimentTable
+from repro.generators import uniform_random_instance
+
+
+def main() -> None:
+    instance = uniform_random_instance(
+        num_jobs=22, num_machines=4, num_bags=7, seed=3
+    ).instance
+    print(instance)
+    optimum = exact_milp_schedule(instance).makespan
+    print(f"exact optimum: {optimum:.4f}\n")
+
+    table = ExperimentTable("eps-sweep", "EPTAS accuracy vs cost")
+    for eps in (1.0, 0.5, 1 / 3, 0.25):
+        start = time.perf_counter()
+        result = eptas_schedule(instance, eps=eps)
+        elapsed = time.perf_counter() - start
+        table.add_row(
+            {
+                "eps": normalise_eps(eps),
+                "ratio": result.makespan / optimum,
+                "paper budget (1+2e+e^2)": 1 + 2 * eps + eps**2,
+                "time_s": elapsed,
+                "patterns": result.diagnostics.get("num_patterns"),
+                "integer_vars": result.diagnostics.get("integer_variables"),
+                "search_iters": result.diagnostics.get("search_iterations"),
+            }
+        )
+    print(table.to_text())
+
+    print("\nLemma-6 theory constants (why the worst-case MILP is impractical):")
+    theory = ExperimentTable("lemma6", "worst-case constants as eps shrinks")
+    for eps in (1.0, 0.5, 0.25, 0.125):
+        report = theory_constants_report(eps)["k=worst"]
+        theory.add_row(
+            {
+                "eps": normalise_eps(eps),
+                "q (jobs/machine)": report["q"],
+                "b' (priority bags per size)": report["b_prime"],
+                "log10(pattern bound)": report["log10_pattern_bound"],
+            }
+        )
+    print(theory.to_text())
+    print(
+        "\nThe measured MILP stays small because the implementation caps the priority-bag "
+        "constant in practical mode (DESIGN.md §4) — the guarantee is then certified "
+        "empirically, as the ratio column shows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Fault-tolerant replica placement — the paper's motivating scenario.
+
+The introduction of the paper motivates bag constraints with parallel and
+distributed systems: replicas of a service must run on *different* machines
+so that a single machine failure cannot take the whole service down.
+
+This example:
+
+1. generates a replicated-services workload (each service's replicas form a
+   bag),
+2. schedules it twice — once respecting the bag constraints (EPTAS) and once
+   ignoring them (a bag-oblivious first-fit packing),
+3. executes both schedules on the discrete-event cluster simulator while
+   injecting machine failures, and
+4. compares makespan and service survivability.
+
+Run with::
+
+    python examples/fault_tolerant_replicas.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import first_fit_schedule
+from repro.core import Instance, Schedule
+from repro.eptas import eptas_schedule
+from repro.generators import replica_workload_instance
+from repro.simulation import ClusterSimulator
+
+
+def bag_oblivious_schedule(instance: Instance, capacity: float) -> Schedule:
+    """Pack the same jobs while ignoring the replica-separation constraint.
+
+    ``capacity`` keeps the packing honest: the oblivious scheduler balances
+    to roughly the same makespan as the bag-constrained one, it just does not
+    care which machine a replica lands on — so replicas of one service often
+    end up co-located.
+    """
+    relaxed = Instance(
+        [job.with_bag(job.id) for job in instance.jobs],
+        instance.num_machines,
+        name=f"{instance.name}#no-bags",
+    )
+    packed = first_fit_schedule(relaxed, capacity=capacity).schedule
+    # Interpret the assignment on the original instance (bags restored), so
+    # the simulator can report per-service survivability.
+    return Schedule(instance, packed.assignment, allow_partial=True)
+
+
+def main() -> None:
+    generated = replica_workload_instance(
+        num_services=12,
+        num_machines=8,
+        replicas_range=(2, 3),
+        size_range=(0.2, 0.9),
+        seed=7,
+    )
+    instance = generated.instance
+    print(instance)
+    print(f"services (bags): {instance.num_bags}, replicas (jobs): {instance.num_jobs}")
+
+    # Schedule with the bag constraint (the EPTAS) and without it.
+    constrained = eptas_schedule(instance, eps=0.25)
+    oblivious = bag_oblivious_schedule(instance, capacity=constrained.makespan)
+    print(f"\nbag-constrained makespan : {constrained.makespan:.3f}")
+    print(f"bag-oblivious  makespan  : {oblivious.makespan():.3f}")
+    premium = constrained.makespan / max(oblivious.makespan(), 1e-9) - 1.0
+    print(f"price of replica separation: {premium * 100:+.1f}% makespan")
+
+    # Inject failures and measure how many services survive.
+    trials = 30
+    failures_per_trial = 2
+    survivability = {"with bags": [], "without bags": []}
+    lost_services = {"with bags": [], "without bags": []}
+    for trial in range(trials):
+        for label, schedule in (
+            ("with bags", constrained.schedule),
+            ("without bags", oblivious),
+        ):
+            simulator = ClusterSimulator.__new__(ClusterSimulator)
+            simulator.instance = instance
+            simulator.schedule = schedule
+            report = simulator.run_with_random_failures(
+                num_failures=failures_per_trial, seed=1000 + trial
+            )
+            survivability[label].append(report.survivability())
+            lost_services[label].append(report.bags_fully_lost)
+
+    print(f"\nsimulated {trials} trials with {failures_per_trial} machine failures each:")
+    for label in ("with bags", "without bags"):
+        mean_survival = float(np.mean(survivability[label]))
+        mean_lost = float(np.mean(lost_services[label]))
+        print(
+            f"  {label:13s}: {mean_survival * 100:5.1f}% of services keep at least one "
+            f"replica, {mean_lost:.2f} services fully lost on average"
+        )
+
+    print(
+        "\nTakeaway: with replica separation a single machine failure can never take a "
+        "whole service down, and even multiple simultaneous failures rarely do; the "
+        "bag-oblivious packing loses whole services regularly.  The price is a small "
+        "makespan premium — exactly the trade-off the paper's introduction describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

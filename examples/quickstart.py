@@ -1,0 +1,93 @@
+"""Quickstart: build a bag-constrained instance, solve it, inspect the result.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the core public API: building an :class:`~repro.core.Instance`,
+running baselines and the EPTAS, validating the schedules, comparing against
+lower bounds and the exact optimum, and serialising instances/schedules.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import greedy_schedule, lpt_schedule
+from repro.bounds import best_lower_bound
+from repro.core import Instance
+from repro.eptas import eptas_schedule
+from repro.exact import exact_schedule
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build an instance.  Jobs are (size, bag) pairs; at most one job of
+    #    each bag may run on a machine.  Here: 4 machines, 3 "services" whose
+    #    replicas must be separated, plus a handful of independent tasks.
+    # ------------------------------------------------------------------
+    sizes = [
+        5.0, 5.0, 5.0, 5.0,      # service 0: four replicas
+        3.0, 3.0, 3.0,           # service 1: three replicas
+        4.0, 4.0,                # service 2: two replicas
+        2.0, 2.5, 1.5, 1.0, 6.0, # independent tasks
+    ]
+    bags = [
+        0, 0, 0, 0,
+        1, 1, 1,
+        2, 2,
+        3, 4, 5, 6, 7,
+    ]
+    instance = Instance.from_sizes(sizes, bags, num_machines=4, name="quickstart")
+    print(instance)
+    print("instance stats:", instance.stats().to_dict())
+
+    # ------------------------------------------------------------------
+    # 2. Lower bounds tell us what any schedule must pay.
+    # ------------------------------------------------------------------
+    bounds = best_lower_bound(instance, use_lp=True)
+    print("\nlower bounds:", bounds.to_dict())
+
+    # ------------------------------------------------------------------
+    # 3. Baselines: greedy list scheduling and bag-aware LPT.
+    # ------------------------------------------------------------------
+    greedy = greedy_schedule(instance)
+    lpt = lpt_schedule(instance)
+    print(f"\ngreedy list scheduling : makespan {greedy.makespan:.3f}")
+    print(f"bag-aware LPT          : makespan {lpt.makespan:.3f}")
+
+    # ------------------------------------------------------------------
+    # 4. The paper's EPTAS.  eps controls the accuracy/cost trade-off.
+    # ------------------------------------------------------------------
+    eptas = eptas_schedule(instance, eps=0.25)
+    print(f"EPTAS (eps = 1/4)      : makespan {eptas.makespan:.3f}")
+    print("  diagnostics:", {
+        key: eptas.diagnostics.get(key)
+        for key in ("search_iterations", "num_patterns", "integer_variables", "k")
+    })
+
+    # ------------------------------------------------------------------
+    # 5. Exact optimum (small instance, so this is cheap) and ratios.
+    # ------------------------------------------------------------------
+    exact = exact_schedule(instance)
+    print(f"exact optimum          : makespan {exact.makespan:.3f}")
+    for result in (greedy, lpt, eptas):
+        print(f"  {result.solver:12s} ratio to optimum: {result.makespan / exact.makespan:.4f}")
+
+    # ------------------------------------------------------------------
+    # 6. Every schedule is a validated, feasible assignment; inspect it.
+    # ------------------------------------------------------------------
+    schedule = eptas.schedule
+    schedule.validate()
+    print("\nEPTAS schedule (machine -> jobs):")
+    for machine, jobs in enumerate(schedule.machine_jobs()):
+        described = ", ".join(f"job{job.id}(bag {job.bag}, {job.size:g})" for job in jobs)
+        print(f"  machine {machine} [load {schedule.load(machine):.2f}]: {described}")
+
+    # ------------------------------------------------------------------
+    # 7. Instances and schedules serialise to JSON.
+    # ------------------------------------------------------------------
+    print("\ninstance JSON snippet:", instance.to_json(indent=None)[:100], "...")
+    print("schedule JSON snippet:", schedule.to_json(indent=None)[:100], "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Compare every solver in the library across instance families.
+
+Runs greedy list scheduling, bag-aware LPT, the coloring 2-approximation,
+the Das–Wiese-style PTAS baseline, the paper's EPTAS and (where affordable)
+the exact MILP on a spread of synthetic families, and prints a ratio table
+per family — a miniature version of experiment E2.
+
+Run with::
+
+    python examples/solver_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    coloring_schedule,
+    das_wiese_schedule,
+    greedy_schedule,
+    lpt_schedule,
+)
+from repro.bounds import best_lower_bound
+from repro.eptas import eptas_schedule
+from repro.exact import exact_milp_schedule
+from repro.experiments.tables import ExperimentTable
+from repro.generators import (
+    bag_heavy_instance,
+    figure1_adversarial_instance,
+    replica_workload_instance,
+    uniform_random_instance,
+)
+
+SOLVERS = {
+    "greedy": lambda inst: greedy_schedule(inst),
+    "lpt": lambda inst: lpt_schedule(inst),
+    "coloring": lambda inst: coloring_schedule(inst),
+    "das-wiese(1/4)": lambda inst: das_wiese_schedule(inst, eps=0.25),
+    "eptas(1/2)": lambda inst: eptas_schedule(inst, eps=0.5),
+    "eptas(1/4)": lambda inst: eptas_schedule(inst, eps=0.25),
+}
+
+FAMILIES = {
+    "figure1 (adversarial)": figure1_adversarial_instance(num_machines=6, seed=1).instance,
+    "uniform random": uniform_random_instance(
+        num_jobs=18, num_machines=4, num_bags=6, seed=1
+    ).instance,
+    "replicated services": replica_workload_instance(
+        num_services=8, num_machines=5, seed=1
+    ).instance,
+    "bag heavy": bag_heavy_instance(
+        num_machines=4, num_full_bags=3, extra_jobs=6, seed=1
+    ).instance,
+}
+
+
+def main() -> None:
+    table = ExperimentTable("compare", "makespan ratio to the exact optimum, per family")
+    for family, instance in FAMILIES.items():
+        optimum = exact_milp_schedule(instance).makespan
+        row: dict[str, object] = {"family": family, "optimum": optimum}
+        for name, solver in SOLVERS.items():
+            result = solver(instance)
+            result.schedule.validate()
+            row[name] = result.makespan / optimum
+        table.add_row(row)
+
+    print(table.to_text())
+    print()
+    # Also show how tight the combinatorial lower bounds are: the EPTAS's
+    # binary search uses them as the starting bracket.
+    bounds_table = ExperimentTable("bounds", "lower-bound tightness (bound / optimum)")
+    for family, instance in FAMILIES.items():
+        optimum = exact_milp_schedule(instance).makespan
+        report = best_lower_bound(instance, use_lp=True)
+        bounds_table.add_row(
+            {
+                "family": family,
+                "area": report.area / optimum,
+                "max_job": report.max_job / optimum,
+                "pairwise": report.pairwise / optimum,
+                "bag_cardinality": report.bag_cardinality / optimum,
+                "lp_relaxation": (report.lp_relaxation or 0.0) / optimum,
+            }
+        )
+    print(bounds_table.to_text())
+
+
+if __name__ == "__main__":
+    main()

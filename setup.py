@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that fully offline environments without the ``wheel`` package can still do
+an editable install via the legacy path (``python setup.py develop`` /
+``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

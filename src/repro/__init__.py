@@ -1,0 +1,38 @@
+"""repro — reproduction of "An EPTAS for Machine Scheduling with Bag-Constraints".
+
+Public API highlights
+---------------------
+* :class:`repro.core.Instance`, :class:`repro.core.Job`,
+  :class:`repro.core.Schedule` — the data model.
+* :func:`repro.baselines.list_scheduling.greedy_schedule`,
+  :func:`repro.baselines.lpt.lpt_schedule`, … — baseline solvers.
+* :func:`repro.eptas.eptas_schedule` — the paper's EPTAS.
+* :func:`repro.exact.exact_schedule` — exact reference solvers.
+* :mod:`repro.generators` — synthetic instance families.
+* :mod:`repro.experiments` — the benchmark/experiment harness.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Instance,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    Job,
+    ReproError,
+    Schedule,
+    SolverResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "Job",
+    "ReproError",
+    "Schedule",
+    "SolverResult",
+    "__version__",
+]

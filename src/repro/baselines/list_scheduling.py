@@ -1,0 +1,164 @@
+"""Greedy list scheduling with bag-awareness.
+
+The classical Graham list-scheduling rule ("next job goes to the least loaded
+machine") extends naturally to bag constraints: the next job goes to the
+least loaded machine *that carries no job of its bag*.  Because no bag has
+more jobs than machines, such a machine always exists, so the algorithm never
+gets stuck.  For conflict graphs that can be colored in polynomial time
+(cluster graphs can), this greedy strategy is a 2-approximation
+[Bodlaender, Jansen, Woeginger 1994]; it is the upper bound used to seed the
+EPTAS's dual-approximation binary search.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import Instance
+from ..core.job import Job
+from ..core.result import SolverResult, timed_solver_result
+from ..core.schedule import Schedule
+
+__all__ = ["greedy_assign", "greedy_schedule", "first_fit_schedule"]
+
+
+def greedy_assign(
+    instance: Instance,
+    order: Sequence[Job] | None = None,
+    *,
+    schedule: Schedule | None = None,
+) -> Schedule:
+    """Assign jobs in the given order to the least-loaded conflict-free machine.
+
+    Parameters
+    ----------
+    instance:
+        The instance to schedule.
+    order:
+        Job processing order; defaults to the instance order.  Passing a
+        size-descending order turns this into bag-aware LPT.
+    schedule:
+        An existing (possibly partial) schedule to extend in place.  Machine
+        loads and bag occupancies of already-placed jobs are respected.
+        A new empty schedule is created when omitted.
+
+    Returns
+    -------
+    Schedule
+        The extended schedule.  Raises :class:`InvalidInstanceError` when a
+        job has no conflict-free machine (only possible if a bag has more
+        members than machines).
+    """
+    jobs = list(order) if order is not None else list(instance.jobs)
+    schedule = schedule if schedule is not None else Schedule(instance, allow_partial=True)
+
+    machine_loads = schedule.loads().tolist()
+    machine_bags: list[set[int]] = [set() for _ in range(instance.num_machines)]
+    for job_id, machine in schedule.assignment.items():
+        machine_bags[machine].add(instance.job(job_id).bag)
+
+    # A heap of (load, machine) gives O(log m) selection of the least-loaded
+    # machine; conflicting machines are popped, stashed and pushed back.
+    heap: list[tuple[float, int]] = [
+        (machine_loads[machine], machine) for machine in range(instance.num_machines)
+    ]
+    heapq.heapify(heap)
+
+    for job in jobs:
+        if job.id in schedule:
+            continue
+        stash: list[tuple[float, int]] = []
+        chosen: int | None = None
+        while heap:
+            load, machine = heapq.heappop(heap)
+            if load != machine_loads[machine]:
+                # Stale heap entry; reinsert the fresh value lazily.
+                heapq.heappush(heap, (machine_loads[machine], machine))
+                continue
+            if job.bag in machine_bags[machine]:
+                stash.append((load, machine))
+                continue
+            chosen = machine
+            break
+        for entry in stash:
+            heapq.heappush(heap, entry)
+        if chosen is None:
+            raise InvalidInstanceError(
+                f"no conflict-free machine for job {job.id} of bag {job.bag}; "
+                f"bag has more jobs than machines"
+            )
+        schedule.assign(job.id, chosen)
+        machine_loads[chosen] += job.size
+        machine_bags[chosen].add(job.bag)
+        heapq.heappush(heap, (machine_loads[chosen], chosen))
+
+    return schedule
+
+
+def greedy_schedule(
+    instance: Instance, *, order: Sequence[Job] | None = None
+) -> SolverResult:
+    """Bag-aware Graham list scheduling (instance order by default)."""
+    return timed_solver_result(
+        "greedy-list",
+        lambda: greedy_assign(instance, order),
+        params={"order": "input" if order is None else "custom"},
+    )
+
+
+def first_fit_schedule(instance: Instance, *, capacity: float | None = None) -> SolverResult:
+    """First-fit: place each job on the lowest-index conflict-free machine.
+
+    With ``capacity`` set, a machine is only eligible while its load plus the
+    job stays within the capacity; jobs that fit nowhere fall back to the
+    least-loaded conflict-free machine.  First-fit is intentionally weaker
+    than :func:`greedy_schedule` — it is the "naive placement" that the
+    Figure-1 experiment (E1) contrasts against bag-aware algorithms.
+    """
+
+    def build() -> Schedule:
+        schedule = Schedule(instance, allow_partial=True)
+        machine_loads = [0.0] * instance.num_machines
+        machine_bags: list[set[int]] = [set() for _ in range(instance.num_machines)]
+        for job in instance.jobs:
+            placed = False
+            for machine in range(instance.num_machines):
+                if job.bag in machine_bags[machine]:
+                    continue
+                if capacity is not None and machine_loads[machine] + job.size > capacity:
+                    continue
+                schedule.assign(job.id, machine)
+                machine_loads[machine] += job.size
+                machine_bags[machine].add(job.bag)
+                placed = True
+                break
+            if not placed:
+                # Fall back to the least-loaded conflict-free machine.
+                candidates = [
+                    (machine_loads[machine], machine)
+                    for machine in range(instance.num_machines)
+                    if job.bag not in machine_bags[machine]
+                ]
+                if not candidates:
+                    raise InvalidInstanceError(
+                        f"no conflict-free machine for job {job.id} of bag {job.bag}"
+                    )
+                _, machine = min(candidates)
+                schedule.assign(job.id, machine)
+                machine_loads[machine] += job.size
+                machine_bags[machine].add(job.bag)
+        return schedule
+
+    return timed_solver_result(
+        "first-fit",
+        build,
+        params={"capacity": capacity},
+    )
+
+
+def upper_bound_makespan(instance: Instance) -> float:
+    """A quick feasible makespan (greedy LPT order), used to bracket searches."""
+    order = sorted(instance.jobs, key=lambda job: -job.size)
+    return greedy_assign(instance, order).makespan()

@@ -1,0 +1,29 @@
+"""Lower bounds on the optimal makespan of bag-constrained instances.
+
+Lower bounds drive the dual-approximation binary search of the EPTAS (they
+give the initial bracket together with a greedy upper bound) and serve as the
+reference value in the approximation-ratio experiments whenever computing the
+exact optimum is too expensive.
+"""
+
+from .lower_bounds import (
+    area_lower_bound,
+    bag_cardinality_lower_bound,
+    best_lower_bound,
+    combined_lower_bound,
+    lp_relaxation_lower_bound,
+    max_job_lower_bound,
+    pairwise_lower_bound,
+    LowerBoundReport,
+)
+
+__all__ = [
+    "LowerBoundReport",
+    "area_lower_bound",
+    "bag_cardinality_lower_bound",
+    "best_lower_bound",
+    "combined_lower_bound",
+    "lp_relaxation_lower_bound",
+    "max_job_lower_bound",
+    "pairwise_lower_bound",
+]

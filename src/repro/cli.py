@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>`` / ``repro-sched``.
+
+Commands
+--------
+``generate``   write a synthetic instance (JSON) from one of the families
+``solve``      solve an instance file (or a generated family) with any solver
+``compare``    run several solvers on one instance and print a comparison table
+``experiments``run the DESIGN.md experiments (E1…E10) and print their tables
+``constants``  print the paper's derived constants / Lemma-6 sizes for an eps
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from .baselines import (
+    coloring_schedule,
+    das_wiese_schedule,
+    first_fit_schedule,
+    greedy_schedule,
+    local_search_schedule,
+    lpt_schedule,
+)
+from .bounds import best_lower_bound
+from .core import Instance, SolverResult
+from .eptas import eptas_schedule, theory_constants_report
+from .exact import exact_schedule
+from .experiments import EXPERIMENTS, run_experiment
+from .experiments.tables import ExperimentTable
+from .generators import FAMILIES, generate
+
+__all__ = ["main", "build_parser", "SOLVERS"]
+
+
+SOLVERS: dict[str, Callable[..., SolverResult]] = {
+    "greedy": lambda instance, eps: greedy_schedule(instance),
+    "first-fit": lambda instance, eps: first_fit_schedule(instance),
+    "lpt": lambda instance, eps: lpt_schedule(instance),
+    "local-search": lambda instance, eps: local_search_schedule(instance),
+    "coloring": lambda instance, eps: coloring_schedule(instance),
+    "das-wiese": lambda instance, eps: das_wiese_schedule(instance, eps=eps),
+    "eptas": lambda instance, eps: eptas_schedule(instance, eps=eps),
+    "exact": lambda instance, eps: exact_schedule(instance),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Machine scheduling with bag-constraints: EPTAS reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic instance")
+    gen.add_argument("family", choices=sorted(FAMILIES), help="instance family")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--machines", type=int, default=None)
+    gen.add_argument("--jobs", type=int, default=None)
+    gen.add_argument("--output", "-o", type=Path, default=None, help="output JSON path")
+
+    solve = sub.add_parser("solve", help="solve an instance with one solver")
+    solve.add_argument("instance", type=Path, help="instance JSON file")
+    solve.add_argument("--solver", choices=sorted(SOLVERS), default="eptas")
+    solve.add_argument("--eps", type=float, default=0.25)
+    solve.add_argument("--output", "-o", type=Path, default=None, help="schedule JSON path")
+
+    compare = sub.add_parser("compare", help="run several solvers on one instance")
+    compare.add_argument("instance", type=Path)
+    compare.add_argument(
+        "--solvers", nargs="+", choices=sorted(SOLVERS), default=["greedy", "lpt", "eptas"]
+    )
+    compare.add_argument("--eps", type=float, default=0.25)
+
+    experiments = sub.add_parser("experiments", help="run DESIGN.md experiments")
+    experiments.add_argument(
+        "ids", nargs="*", default=sorted(EXPERIMENTS), help="experiment ids (default: all)"
+    )
+    experiments.add_argument("--full", action="store_true", help="full (slow) variant")
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    experiments.add_argument("--csv-dir", type=Path, default=None, help="also write CSVs here")
+
+    constants = sub.add_parser("constants", help="print derived constants for an eps")
+    constants.add_argument("--eps", type=float, default=0.25)
+
+    return parser
+
+
+def _load_instance(path: Path) -> Instance:
+    if not path.exists():
+        raise SystemExit(f"instance file not found: {path}")
+    return Instance.load(path)
+
+
+def _print_result(result: SolverResult) -> None:
+    print(f"solver     : {result.solver}")
+    print(f"instance   : {result.instance_name}")
+    print(f"makespan   : {result.makespan:.6g}")
+    print(f"wall time  : {result.wall_time:.3f}s")
+    bounds = best_lower_bound(result.schedule.instance)
+    print(f"lower bound: {bounds.best:.6g}  (ratio <= {result.makespan / bounds.best:.4f})")
+    if result.diagnostics:
+        trimmed = {
+            key: value
+            for key, value in result.diagnostics.items()
+            if key not in ("attempts",)
+        }
+        print(f"diagnostics: {json.dumps(trimmed, default=str)}")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kwargs: dict[str, object] = {"seed": args.seed}
+    if args.machines is not None:
+        kwargs["num_machines"] = args.machines
+    if args.jobs is not None:
+        kwargs["num_jobs"] = args.jobs
+    try:
+        generated = generate(args.family, **kwargs)
+    except TypeError:
+        # Some families do not take num_jobs; retry without it.
+        kwargs.pop("num_jobs", None)
+        generated = generate(args.family, **kwargs)
+    instance = generated.instance
+    output = args.output or Path(f"{instance.name}.json")
+    instance.save(output)
+    print(f"wrote {instance.num_jobs} jobs / {instance.num_bags} bags / "
+          f"{instance.num_machines} machines to {output}")
+    if generated.known_optimum is not None:
+        print(f"known optimum: {generated.known_optimum:.6g}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance)
+    result = SOLVERS[args.solver](instance, args.eps)
+    _print_result(result)
+    if args.output is not None:
+        result.schedule.save(args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance)
+    table = ExperimentTable("compare", f"solver comparison on {instance.name}")
+    bounds = best_lower_bound(instance)
+    for name in args.solvers:
+        result = SOLVERS[name](instance, args.eps)
+        table.add_row(
+            {
+                "solver": name,
+                "makespan": result.makespan,
+                "ratio_to_lb": result.makespan / bounds.best if bounds.best > 0 else float("nan"),
+                "time_s": result.wall_time,
+            }
+        )
+    print(table.to_text())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    for experiment_id in args.ids:
+        table = run_experiment(experiment_id, quick=not args.full, seed=args.seed)
+        print(table.to_markdown() if args.markdown else table.to_text())
+        print()
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            table.save_csv(args.csv_dir / f"{experiment_id.lower()}.csv")
+    return 0
+
+
+def _cmd_constants(args: argparse.Namespace) -> int:
+    print(json.dumps(theory_constants_report(args.eps), indent=2))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "solve": _cmd_solve,
+        "compare": _cmd_compare,
+        "experiments": _cmd_experiments,
+        "constants": _cmd_constants,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

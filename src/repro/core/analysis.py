@@ -1,0 +1,115 @@
+"""Schedule analysis: load statistics, imbalance metrics, certificates.
+
+Experiments and examples frequently need the same handful of derived
+quantities — machine-load statistics, imbalance measures, per-bag spread,
+and a human-readable certificate that a schedule is feasible and how far it
+is from the known lower bounds.  This module centralises them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .instance import Instance
+from .schedule import Schedule
+
+__all__ = ["ScheduleMetrics", "analyze_schedule", "schedule_certificate"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleMetrics:
+    """Derived quantities of a (complete) schedule.
+
+    Attributes
+    ----------
+    makespan / min_load / mean_load / load_std:
+        Machine-load statistics.
+    imbalance:
+        ``makespan / mean_load`` (1.0 = perfectly balanced).  The area lower
+        bound equals the mean load, so this is also an upper bound on the
+        approximation ratio of the schedule.
+    utilisation:
+        ``total work / (m * makespan)`` — the fraction of the schedule's
+        rectangle that is actually busy.
+    num_used_machines:
+        Machines with at least one job.
+    bag_spread:
+        Mean over bags of (number of distinct machines used by the bag /
+        number of jobs of the bag); always 1.0 for a feasible schedule.
+    """
+
+    makespan: float
+    min_load: float
+    mean_load: float
+    load_std: float
+    imbalance: float
+    utilisation: float
+    num_used_machines: int
+    bag_spread: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "makespan": self.makespan,
+            "min_load": self.min_load,
+            "mean_load": self.mean_load,
+            "load_std": self.load_std,
+            "imbalance": self.imbalance,
+            "utilisation": self.utilisation,
+            "num_used_machines": self.num_used_machines,
+            "bag_spread": self.bag_spread,
+        }
+
+
+def analyze_schedule(schedule: Schedule) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for a complete schedule."""
+    instance: Instance = schedule.instance
+    loads = schedule.loads()
+    makespan = float(loads.max()) if loads.size else 0.0
+    mean_load = float(loads.mean()) if loads.size else 0.0
+    total_work = instance.total_work
+
+    spreads: list[float] = []
+    for _, members in instance.bags().items():
+        machines = {schedule.machine_of(job.id) for job in members}
+        machines.discard(None)
+        if members:
+            spreads.append(len(machines) / len(members))
+    return ScheduleMetrics(
+        makespan=makespan,
+        min_load=float(loads.min()) if loads.size else 0.0,
+        mean_load=mean_load,
+        load_std=float(loads.std()) if loads.size else 0.0,
+        imbalance=(makespan / mean_load) if mean_load > 0 else 1.0,
+        utilisation=(total_work / (instance.num_machines * makespan))
+        if makespan > 0
+        else 1.0,
+        num_used_machines=int(np.count_nonzero(loads)),
+        bag_spread=float(np.mean(spreads)) if spreads else 1.0,
+    )
+
+
+def schedule_certificate(schedule: Schedule, *, lower_bound: float | None = None) -> dict[str, Any]:
+    """A compact, serialisable certificate for a schedule.
+
+    Contains the feasibility verdict, the metrics, and (when a lower bound is
+    supplied) the certified approximation-ratio upper bound.  Used by the CLI
+    and by the experiment harness when persisting results.
+    """
+    report = schedule.validation_report()
+    metrics = analyze_schedule(schedule)
+    certificate: dict[str, Any] = {
+        "instance": schedule.instance.name,
+        "num_jobs": schedule.instance.num_jobs,
+        "num_bags": schedule.instance.num_bags,
+        "num_machines": schedule.instance.num_machines,
+        "feasible": report.is_feasible,
+        "feasibility_summary": report.summary(),
+        "metrics": metrics.to_dict(),
+    }
+    if lower_bound is not None and lower_bound > 0:
+        certificate["lower_bound"] = lower_bound
+        certificate["ratio_upper_bound"] = metrics.makespan / lower_bound
+    return certificate

@@ -1,0 +1,387 @@
+"""Instance model for machine scheduling with bag-constraints.
+
+An :class:`Instance` bundles the job set, the bag partition (implicit in the
+jobs' ``bag`` attributes) and the number of identical machines.  It offers
+vectorised accessors (NumPy arrays of sizes), bag-level views, summary
+statistics, and JSON serialization.  Instances are immutable; all algorithms
+that "modify the instance" (rounding, the Section-2.2 transformation) return
+new instances.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .errors import InvalidInstanceError
+from .job import Job
+
+__all__ = ["Instance", "InstanceStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceStats:
+    """Summary statistics of an instance, used in reports and experiments."""
+
+    num_jobs: int
+    num_bags: int
+    num_machines: int
+    total_work: float
+    max_job_size: float
+    min_job_size: float
+    mean_job_size: float
+    max_bag_size: int
+    mean_bag_size: float
+    area_lower_bound: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "num_jobs": self.num_jobs,
+            "num_bags": self.num_bags,
+            "num_machines": self.num_machines,
+            "total_work": self.total_work,
+            "max_job_size": self.max_job_size,
+            "min_job_size": self.min_job_size,
+            "mean_job_size": self.mean_job_size,
+            "max_bag_size": self.max_bag_size,
+            "mean_bag_size": self.mean_bag_size,
+            "area_lower_bound": self.area_lower_bound,
+        }
+
+
+class Instance:
+    """An immutable instance of machine scheduling with bag-constraints.
+
+    Parameters
+    ----------
+    jobs:
+        The jobs of the instance.  Job identifiers must be unique.  Bag
+        indices may be sparse (e.g. only bags 0 and 7 used); the instance
+        exposes both the raw indices and a densely numbered view.
+    num_machines:
+        Number of identical machines ``m`` (must be >= 1).
+    name:
+        Optional human-readable name used in experiment reports.
+    validate:
+        If ``True`` (default), run structural validation on construction.
+        Note that validation checks *satisfiability* of the bag constraint
+        (no bag may contain more jobs than machines) because such instances
+        admit no feasible schedule at all.
+    """
+
+    __slots__ = ("_jobs", "_num_machines", "_name", "_by_id", "_bags", "_sizes")
+
+    def __init__(
+        self,
+        jobs: Iterable[Job],
+        num_machines: int,
+        *,
+        name: str = "instance",
+        validate: bool = True,
+    ) -> None:
+        job_tuple = tuple(jobs)
+        self._jobs: tuple[Job, ...] = job_tuple
+        self._num_machines = int(num_machines)
+        self._name = str(name)
+        self._by_id: dict[int, Job] = {job.id: job for job in job_tuple}
+        bags: dict[int, list[Job]] = {}
+        for job in job_tuple:
+            bags.setdefault(job.bag, []).append(job)
+        self._bags: dict[int, tuple[Job, ...]] = {
+            bag: tuple(members) for bag, members in sorted(bags.items())
+        }
+        self._sizes = np.array([job.size for job in job_tuple], dtype=float)
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`InvalidInstanceError` if the instance is malformed."""
+        if self._num_machines < 1:
+            raise InvalidInstanceError(
+                f"number of machines must be >= 1, got {self._num_machines}"
+            )
+        if len(self._by_id) != len(self._jobs):
+            seen: set[int] = set()
+            dupes = sorted(
+                {job.id for job in self._jobs if job.id in seen or seen.add(job.id)}
+            )
+            raise InvalidInstanceError(f"duplicate job identifiers: {dupes}")
+        for job in self._jobs:
+            if job.size < 0:
+                raise InvalidInstanceError(
+                    f"job {job.id} has negative size {job.size}"
+                )
+        for bag, members in self._bags.items():
+            if len(members) > self._num_machines:
+                raise InvalidInstanceError(
+                    f"bag {bag} has {len(members)} jobs but only "
+                    f"{self._num_machines} machines are available; "
+                    "no feasible schedule exists"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        """All jobs in construction order."""
+        return self._jobs
+
+    @property
+    def num_machines(self) -> int:
+        """Number of identical machines ``m``."""
+        return self._num_machines
+
+    @property
+    def name(self) -> str:
+        """Human-readable instance name."""
+        return self._name
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs ``n``."""
+        return len(self._jobs)
+
+    @property
+    def num_bags(self) -> int:
+        """Number of non-empty bags ``b``."""
+        return len(self._bags)
+
+    @property
+    def bag_indices(self) -> tuple[int, ...]:
+        """Sorted tuple of bag indices that actually contain jobs."""
+        return tuple(self._bags.keys())
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Vector of job sizes in construction order (read-only view)."""
+        view = self._sizes.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all processing times."""
+        return float(self._sizes.sum())
+
+    @property
+    def max_job_size(self) -> float:
+        """Largest processing time (``0.0`` for an empty instance)."""
+        return float(self._sizes.max()) if len(self._jobs) else 0.0
+
+    def job(self, job_id: int) -> Job:
+        """Look up a job by identifier."""
+        try:
+            return self._by_id[job_id]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise KeyError(f"no job with id {job_id} in instance {self._name}") from exc
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._by_id
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Instance(name={self._name!r}, n={self.num_jobs}, "
+            f"b={self.num_bags}, m={self._num_machines})"
+        )
+
+    # ------------------------------------------------------------------
+    # Bag-level views
+    # ------------------------------------------------------------------
+    def bag(self, bag_index: int) -> tuple[Job, ...]:
+        """All jobs of the given bag (empty tuple if the bag is unused)."""
+        return self._bags.get(bag_index, ())
+
+    def bags(self) -> Mapping[int, tuple[Job, ...]]:
+        """Mapping ``bag index -> jobs of that bag`` (sorted by index)."""
+        return dict(self._bags)
+
+    def bag_sizes(self) -> dict[int, int]:
+        """Mapping ``bag index -> number of jobs in that bag``."""
+        return {bag: len(members) for bag, members in self._bags.items()}
+
+    def bag_of(self, job_id: int) -> int:
+        """Bag index of the given job."""
+        return self.job(job_id).bag
+
+    def size_restricted_bag(self, bag_index: int, size: float, *, tol: float = 1e-12) -> tuple[Job, ...]:
+        """Jobs of bag ``bag_index`` whose size equals ``size``.
+
+        This realises the paper's ``B_l^s`` notation (Definition 1): the
+        *size-restricted bag* containing all jobs of bag ``l`` with
+        processing time exactly ``s``.  A small tolerance is used because
+        rounded sizes are floats.
+        """
+        return tuple(
+            job for job in self.bag(bag_index) if abs(job.size - size) <= tol * max(1.0, size)
+        )
+
+    def distinct_sizes(self) -> tuple[float, ...]:
+        """Sorted tuple of distinct job sizes present in the instance."""
+        return tuple(sorted({float(job.size) for job in self._jobs}))
+
+    # ------------------------------------------------------------------
+    # Derived constructions
+    # ------------------------------------------------------------------
+    def with_jobs(self, jobs: Iterable[Job], *, name: str | None = None) -> "Instance":
+        """Return a new instance with the same machine count but new jobs."""
+        return Instance(
+            jobs,
+            self._num_machines,
+            name=name if name is not None else self._name,
+            validate=False,
+        )
+
+    def with_machines(self, num_machines: int, *, name: str | None = None) -> "Instance":
+        """Return a new instance with the same jobs but a new machine count."""
+        return Instance(
+            self._jobs,
+            num_machines,
+            name=name if name is not None else self._name,
+            validate=False,
+        )
+
+    def scaled(self, factor: float, *, name: str | None = None) -> "Instance":
+        """Return a copy of the instance with every job size multiplied by ``factor``.
+
+        Used by the EPTAS to normalise the guessed optimum to ``1``.
+        """
+        if factor <= 0:
+            raise ValueError(f"scaling factor must be positive, got {factor}")
+        return Instance(
+            (job.with_size(job.size * factor) for job in self._jobs),
+            self._num_machines,
+            name=name if name is not None else f"{self._name}*{factor:g}",
+            validate=False,
+        )
+
+    def subset(self, job_ids: Iterable[int], *, name: str | None = None) -> "Instance":
+        """Return a new instance restricted to the given job identifiers."""
+        wanted = set(job_ids)
+        return Instance(
+            (job for job in self._jobs if job.id in wanted),
+            self._num_machines,
+            name=name if name is not None else f"{self._name}-subset",
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> InstanceStats:
+        """Compute summary statistics for reports and sanity checks."""
+        sizes = self._sizes
+        bag_counts = [len(members) for members in self._bags.values()]
+        total = float(sizes.sum()) if sizes.size else 0.0
+        return InstanceStats(
+            num_jobs=self.num_jobs,
+            num_bags=self.num_bags,
+            num_machines=self._num_machines,
+            total_work=total,
+            max_job_size=float(sizes.max()) if sizes.size else 0.0,
+            min_job_size=float(sizes.min()) if sizes.size else 0.0,
+            mean_job_size=float(sizes.mean()) if sizes.size else 0.0,
+            max_bag_size=max(bag_counts) if bag_counts else 0,
+            mean_bag_size=float(np.mean(bag_counts)) if bag_counts else 0.0,
+            area_lower_bound=total / self._num_machines if self._num_machines else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a JSON-compatible dictionary."""
+        return {
+            "name": self._name,
+            "num_machines": self._num_machines,
+            "jobs": [job.to_dict() for job in self._jobs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, validate: bool = True) -> "Instance":
+        """Deserialize from :meth:`to_dict` output."""
+        return cls(
+            (Job.from_dict(entry) for entry in data["jobs"]),
+            int(data["num_machines"]),
+            name=str(data.get("name", "instance")),
+            validate=validate,
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str, *, validate: bool = True) -> "Instance":
+        """Deserialize from a JSON string."""
+        return cls.from_dict(json.loads(text), validate=validate)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the instance to a JSON file and return the path."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path, *, validate: bool = True) -> "Instance":
+        """Read an instance from a JSON file."""
+        return cls.from_json(Path(path).read_text(), validate=validate)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sizes(
+        cls,
+        sizes: Sequence[float],
+        bags: Sequence[int],
+        num_machines: int,
+        *,
+        name: str = "instance",
+        validate: bool = True,
+    ) -> "Instance":
+        """Build an instance from parallel lists of sizes and bag indices.
+
+        The ``i``-th job receives identifier ``i``.  This is the most
+        convenient constructor for tests and examples::
+
+            Instance.from_sizes([3, 2, 2, 1], bags=[0, 0, 1, 1], num_machines=2)
+        """
+        if len(sizes) != len(bags):
+            raise InvalidInstanceError(
+                f"sizes and bags must have equal length, got {len(sizes)} and {len(bags)}"
+            )
+        jobs = [
+            Job(id=index, size=float(size), bag=int(bag))
+            for index, (size, bag) in enumerate(zip(sizes, bags))
+        ]
+        return cls(jobs, num_machines, name=name, validate=validate)
+
+    @classmethod
+    def without_bags(
+        cls,
+        sizes: Sequence[float],
+        num_machines: int,
+        *,
+        name: str = "instance",
+    ) -> "Instance":
+        """Build a classical makespan instance (every job in its own bag).
+
+        Placing each job in a singleton bag makes the bag constraint vacuous,
+        which recovers plain ``P || C_max``.  Useful for comparing against
+        classical algorithms and for tests.
+        """
+        return cls.from_sizes(sizes, bags=list(range(len(sizes))), num_machines=num_machines, name=name)

@@ -1,0 +1,108 @@
+"""Common result type returned by every solver in the library.
+
+All solvers (baselines, exact solvers, the EPTAS) return a
+:class:`SolverResult` so that experiments and the CLI can treat them
+uniformly: a validated schedule, the achieved makespan, the solver name and
+parameters, wall-clock time, and solver-specific diagnostics (e.g. number of
+MILP patterns, number of repair swaps, binary-search iterations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from .schedule import Schedule
+
+__all__ = ["SolverResult", "timed_solver_result"]
+
+
+@dataclass(slots=True)
+class SolverResult:
+    """Outcome of running a scheduling solver on an instance.
+
+    Attributes
+    ----------
+    schedule:
+        The (validated, complete) schedule produced by the solver.
+    solver:
+        Short identifier of the solver, e.g. ``"eptas"``, ``"lpt"``,
+        ``"exact-milp"``.
+    makespan:
+        Makespan of ``schedule`` (cached so reports do not recompute it).
+    wall_time:
+        Wall-clock seconds spent inside the solver.
+    params:
+        Solver parameters relevant for reproducibility (``eps``, limits, …).
+    diagnostics:
+        Free-form per-solver counters (patterns enumerated, MILP variables,
+        repair swaps, binary search iterations, lower bound used, …).
+    optimal:
+        ``True`` when the solver certifies optimality of the schedule.
+    """
+
+    schedule: Schedule
+    solver: str
+    makespan: float
+    wall_time: float = 0.0
+    params: dict[str, Any] = field(default_factory=dict)
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+    optimal: bool = False
+
+    @property
+    def instance_name(self) -> str:
+        return self.schedule.instance.name
+
+    def ratio_to(self, reference: float) -> float:
+        """Makespan ratio against a reference value (optimum or lower bound).
+
+        Returns ``float('inf')`` when the reference is non-positive, which
+        only happens for degenerate (empty) instances.
+        """
+        if reference <= 0:
+            return float("inf") if self.makespan > 0 else 1.0
+        return self.makespan / reference
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the result (without the full assignment) for reports."""
+        return {
+            "solver": self.solver,
+            "instance": self.instance_name,
+            "makespan": self.makespan,
+            "wall_time": self.wall_time,
+            "optimal": self.optimal,
+            "params": dict(self.params),
+            "diagnostics": dict(self.diagnostics),
+        }
+
+
+def timed_solver_result(
+    solver: str,
+    build: Callable[[], Schedule],
+    *,
+    params: Mapping[str, Any] | None = None,
+    diagnostics: Mapping[str, Any] | None = None,
+    optimal: bool = False,
+    validate: bool = True,
+) -> SolverResult:
+    """Run ``build``, time it, validate the schedule and wrap it in a result.
+
+    Every public solver funnels through this helper so that validation is
+    impossible to forget and timing is measured consistently (monotonic
+    clock, excludes instance construction).
+    """
+    start = time.perf_counter()
+    schedule = build()
+    elapsed = time.perf_counter() - start
+    if validate:
+        schedule.validate()
+    return SolverResult(
+        schedule=schedule,
+        solver=solver,
+        makespan=schedule.makespan(),
+        wall_time=elapsed,
+        params=dict(params or {}),
+        diagnostics=dict(diagnostics or {}),
+        optimal=optimal,
+    )

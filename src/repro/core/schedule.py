@@ -1,0 +1,384 @@
+"""Schedule model: an assignment of jobs to machines plus feasibility checks.
+
+A :class:`Schedule` maps every job of an :class:`~repro.core.instance.Instance`
+to one of the ``m`` machines.  The central feasibility notion of the paper is
+*conflict-freeness*: no machine may hold two jobs of the same bag.  The class
+offers makespan/load computation, conflict enumeration, validation, mutation
+helpers used by the repair procedures (Lemmas 4, 7 and 11), and serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import InvalidScheduleError
+from .instance import Instance
+from .job import Job
+
+__all__ = ["Schedule", "Conflict", "ValidationReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class Conflict:
+    """A violation of the bag constraint: two jobs of one bag on one machine."""
+
+    machine: int
+    bag: int
+    job_a: int
+    job_b: int
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "machine": self.machine,
+            "bag": self.bag,
+            "job_a": self.job_a,
+            "job_b": self.job_b,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """Outcome of :meth:`Schedule.validation_report`.
+
+    ``is_feasible`` is ``True`` iff all jobs are assigned to valid machines
+    and there are no conflicts.
+    """
+
+    missing_jobs: tuple[int, ...]
+    unknown_jobs: tuple[int, ...]
+    invalid_machines: tuple[int, ...]
+    conflicts: tuple[Conflict, ...]
+
+    @property
+    def is_feasible(self) -> bool:
+        return not (
+            self.missing_jobs
+            or self.unknown_jobs
+            or self.invalid_machines
+            or self.conflicts
+        )
+
+    def summary(self) -> str:
+        if self.is_feasible:
+            return "feasible"
+        parts = []
+        if self.missing_jobs:
+            parts.append(f"{len(self.missing_jobs)} unassigned jobs")
+        if self.unknown_jobs:
+            parts.append(f"{len(self.unknown_jobs)} unknown jobs")
+        if self.invalid_machines:
+            parts.append(f"{len(self.invalid_machines)} invalid machine indices")
+        if self.conflicts:
+            parts.append(f"{len(self.conflicts)} bag conflicts")
+        return "infeasible: " + ", ".join(parts)
+
+
+class Schedule:
+    """An assignment of jobs to machines for a fixed instance.
+
+    Parameters
+    ----------
+    instance:
+        The instance being scheduled.
+    assignment:
+        Mapping ``job id -> machine index``.  Machine indices are
+        ``0``-based and must lie in ``range(instance.num_machines)``.
+    allow_partial:
+        If ``True`` the schedule may leave jobs unassigned.  Partial
+        schedules are used internally while the EPTAS builds a solution in
+        stages (large jobs first, then small jobs); the final result of
+        every public solver is always complete and validated.
+    """
+
+    __slots__ = ("_instance", "_assignment", "_allow_partial")
+
+    def __init__(
+        self,
+        instance: Instance,
+        assignment: Mapping[int, int] | None = None,
+        *,
+        allow_partial: bool = False,
+    ) -> None:
+        self._instance = instance
+        self._assignment: dict[int, int] = dict(assignment or {})
+        self._allow_partial = bool(allow_partial)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def instance(self) -> Instance:
+        """The instance this schedule belongs to."""
+        return self._instance
+
+    @property
+    def assignment(self) -> dict[int, int]:
+        """A copy of the ``job id -> machine`` mapping."""
+        return dict(self._assignment)
+
+    @property
+    def num_assigned(self) -> int:
+        """Number of jobs currently assigned."""
+        return len(self._assignment)
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` when every job of the instance has a machine."""
+        return len(self._assignment) == self._instance.num_jobs and all(
+            job.id in self._assignment for job in self._instance.jobs
+        )
+
+    def machine_of(self, job_id: int) -> int | None:
+        """Machine of the given job, or ``None`` when unassigned."""
+        return self._assignment.get(job_id)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(instance={self._instance.name!r}, "
+            f"assigned={self.num_assigned}/{self._instance.num_jobs}, "
+            f"makespan={self.makespan():.6g})"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation (returns self for chaining; schedules are cheap builders)
+    # ------------------------------------------------------------------
+    def assign(self, job_id: int, machine: int) -> "Schedule":
+        """Assign (or move) a job to a machine."""
+        if job_id not in self._instance:
+            raise InvalidScheduleError(
+                f"cannot assign unknown job {job_id} in instance {self._instance.name!r}"
+            )
+        if not 0 <= machine < self._instance.num_machines:
+            raise InvalidScheduleError(
+                f"machine index {machine} out of range [0, {self._instance.num_machines})"
+            )
+        self._assignment[job_id] = machine
+        return self
+
+    def assign_many(self, pairs: Iterable[tuple[int, int]]) -> "Schedule":
+        """Assign many ``(job id, machine)`` pairs at once."""
+        for job_id, machine in pairs:
+            self.assign(job_id, machine)
+        return self
+
+    def unassign(self, job_id: int) -> "Schedule":
+        """Remove a job from the schedule (no error if it was unassigned)."""
+        self._assignment.pop(job_id, None)
+        return self
+
+    def swap(self, job_a: int, job_b: int) -> "Schedule":
+        """Exchange the machines of two assigned jobs.
+
+        This is the primitive used by the repair procedures of Lemmas 4, 7
+        and 11: conflicts are resolved by swapping a conflicting job with a
+        same-size (or filler) job on another machine.
+        """
+        machine_a = self._assignment.get(job_a)
+        machine_b = self._assignment.get(job_b)
+        if machine_a is None or machine_b is None:
+            raise InvalidScheduleError(
+                f"both jobs must be assigned before swapping (jobs {job_a}, {job_b})"
+            )
+        self._assignment[job_a], self._assignment[job_b] = machine_b, machine_a
+        return self
+
+    def copy(self) -> "Schedule":
+        """Return an independent copy of this schedule."""
+        return Schedule(
+            self._instance, dict(self._assignment), allow_partial=self._allow_partial
+        )
+
+    def reassigned_to_instance(self, instance: Instance, *, drop_missing: bool = True) -> "Schedule":
+        """Carry this assignment over to another instance sharing job ids.
+
+        Used when mapping a solution of the transformed instance ``I'`` back
+        to the original instance ``I``: jobs that exist in both instances
+        keep their machine, jobs that only exist in ``I'`` (filler jobs) are
+        dropped when ``drop_missing`` is true.
+        """
+        mapping = {
+            job_id: machine
+            for job_id, machine in self._assignment.items()
+            if (job_id in instance) or not drop_missing
+        }
+        return Schedule(instance, mapping, allow_partial=True)
+
+    # ------------------------------------------------------------------
+    # Loads and makespan
+    # ------------------------------------------------------------------
+    def loads(self) -> np.ndarray:
+        """Vector of machine loads (length ``m``)."""
+        loads = np.zeros(self._instance.num_machines, dtype=float)
+        for job_id, machine in self._assignment.items():
+            loads[machine] += self._instance.job(job_id).size
+        return loads
+
+    def load(self, machine: int) -> float:
+        """Load of a single machine."""
+        total = 0.0
+        for job_id, assigned in self._assignment.items():
+            if assigned == machine:
+                total += self._instance.job(job_id).size
+        return total
+
+    def makespan(self) -> float:
+        """Maximum machine load (``0.0`` for an empty schedule)."""
+        if not self._assignment:
+            return 0.0
+        return float(self.loads().max())
+
+    def machine_jobs(self) -> list[list[Job]]:
+        """Per-machine job lists (length ``m``), in arbitrary order."""
+        machines: list[list[Job]] = [[] for _ in range(self._instance.num_machines)]
+        for job_id, machine in self._assignment.items():
+            machines[machine].append(self._instance.job(job_id))
+        return machines
+
+    def jobs_on(self, machine: int) -> list[Job]:
+        """Jobs assigned to one machine."""
+        return [
+            self._instance.job(job_id)
+            for job_id, assigned in self._assignment.items()
+            if assigned == machine
+        ]
+
+    def bags_on(self, machine: int) -> set[int]:
+        """Set of bag indices present on a machine."""
+        return {job.bag for job in self.jobs_on(machine)}
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def conflicts(self) -> list[Conflict]:
+        """Enumerate all bag-constraint violations in the current assignment."""
+        per_machine_bag: dict[tuple[int, int], list[int]] = {}
+        for job_id, machine in self._assignment.items():
+            bag = self._instance.job(job_id).bag
+            per_machine_bag.setdefault((machine, bag), []).append(job_id)
+        found: list[Conflict] = []
+        for (machine, bag), job_ids in per_machine_bag.items():
+            if len(job_ids) > 1:
+                job_ids = sorted(job_ids)
+                anchor = job_ids[0]
+                for other in job_ids[1:]:
+                    found.append(
+                        Conflict(machine=machine, bag=bag, job_a=anchor, job_b=other)
+                    )
+        found.sort(key=lambda c: (c.machine, c.bag, c.job_a, c.job_b))
+        return found
+
+    def num_conflicts(self) -> int:
+        """Number of bag-constraint violations."""
+        return len(self.conflicts())
+
+    def is_conflict_free(self) -> bool:
+        """``True`` when no machine holds two jobs of one bag."""
+        seen: set[tuple[int, int]] = set()
+        for job_id, machine in self._assignment.items():
+            key = (machine, self._instance.job(job_id).bag)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    def validation_report(self) -> ValidationReport:
+        """Full structural + feasibility report (never raises)."""
+        missing = tuple(
+            sorted(
+                job.id for job in self._instance.jobs if job.id not in self._assignment
+            )
+        )
+        unknown = tuple(
+            sorted(job_id for job_id in self._assignment if job_id not in self._instance)
+        )
+        invalid = tuple(
+            sorted(
+                job_id
+                for job_id, machine in self._assignment.items()
+                if not 0 <= machine < self._instance.num_machines
+            )
+        )
+        return ValidationReport(
+            missing_jobs=missing,
+            unknown_jobs=unknown,
+            invalid_machines=invalid,
+            conflicts=tuple(self.conflicts()),
+        )
+
+    def validate(self, *, require_complete: bool = True) -> "Schedule":
+        """Raise :class:`InvalidScheduleError` if the schedule is infeasible.
+
+        Parameters
+        ----------
+        require_complete:
+            If ``True`` (default) every job of the instance must be
+            assigned.  Partial schedules used internally pass ``False``.
+        """
+        report = self.validation_report()
+        problems: list[str] = []
+        if require_complete and report.missing_jobs:
+            problems.append(f"unassigned jobs: {list(report.missing_jobs)[:10]}")
+        if report.unknown_jobs:
+            problems.append(f"unknown jobs: {list(report.unknown_jobs)[:10]}")
+        if report.invalid_machines:
+            problems.append(
+                f"jobs on invalid machines: {list(report.invalid_machines)[:10]}"
+            )
+        if report.conflicts:
+            problems.append(
+                "bag conflicts: "
+                + ", ".join(
+                    f"(machine {c.machine}, bag {c.bag}, jobs {c.job_a}/{c.job_b})"
+                    for c in report.conflicts[:5]
+                )
+                + (" ..." if len(report.conflicts) > 5 else "")
+            )
+        if problems:
+            raise InvalidScheduleError(
+                f"schedule for {self._instance.name!r} is infeasible: "
+                + "; ".join(problems)
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the assignment (not the instance) to a dictionary."""
+        return {
+            "instance": self._instance.name,
+            "makespan": self.makespan(),
+            "assignment": {str(job_id): machine for job_id, machine in sorted(self._assignment.items())},
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, instance: Instance, data: Mapping[str, Any]) -> "Schedule":
+        assignment = {int(job_id): int(machine) for job_id, machine in data["assignment"].items()}
+        return cls(instance, assignment)
+
+    @classmethod
+    def from_machine_lists(
+        cls, instance: Instance, machines: Sequence[Sequence[int]]
+    ) -> "Schedule":
+        """Build a schedule from per-machine lists of job identifiers."""
+        assignment: dict[int, int] = {}
+        for machine, job_ids in enumerate(machines):
+            for job_id in job_ids:
+                assignment[job_id] = machine
+        return cls(instance, assignment)

@@ -1,0 +1,83 @@
+"""Scaling and geometric rounding (Section 2 of the paper).
+
+The EPTAS guesses the optimal makespan ``T_guess`` (binary search), scales
+the instance so that the guess becomes ``1`` and rounds every job size *up*
+to the next power of ``1 + eps``.  Rounding up means any schedule of the
+rounded instance is also a schedule of the original one with the same or a
+smaller makespan, and the optimum of the rounded instance is at most
+``(1 + eps)`` times the original optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+
+__all__ = ["RoundedInstance", "round_up_to_power", "round_instance", "scale_and_round"]
+
+
+def round_up_to_power(size: float, eps: float) -> float:
+    """Round ``size`` up to the next power of ``1 + eps`` (sizes <= 0 stay 0).
+
+    A small relative tolerance keeps sizes that already *are* powers of
+    ``1 + eps`` unchanged instead of being pushed a full step up by floating
+    point noise.
+    """
+    if size <= 0:
+        return 0.0
+    base = 1.0 + eps
+    exponent = math.log(size, base)
+    rounded_exponent = math.ceil(exponent - 1e-9)
+    value = base**rounded_exponent
+    # Guard against the value dipping below the original size due to
+    # floating point error in the power computation.
+    while value < size - 1e-15:
+        rounded_exponent += 1
+        value = base**rounded_exponent
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class RoundedInstance:
+    """A scaled-and-rounded instance together with its provenance.
+
+    ``instance`` has every size equal to a power of ``1 + eps``; ``scale``
+    is the factor original sizes were multiplied with (``1 / T_guess``), so
+    multiplying a makespan of ``instance`` by ``1 / scale`` converts it back
+    to the original units.  Assignments transfer verbatim because job
+    identifiers are preserved.
+    """
+
+    instance: Instance
+    original: Instance
+    eps: float
+    scale: float
+
+    def to_original_makespan(self, makespan: float) -> float:
+        """Convert a makespan measured in scaled units back to original units."""
+        return makespan / self.scale
+
+
+def round_instance(instance: Instance, eps: float) -> Instance:
+    """Round every job size of an instance up to a power of ``1 + eps``."""
+    return instance.with_jobs(
+        (job.with_size(round_up_to_power(job.size, eps)) for job in instance.jobs),
+        name=f"{instance.name}#rounded",
+    )
+
+
+def scale_and_round(instance: Instance, eps: float, makespan_guess: float) -> RoundedInstance:
+    """Scale so the guessed optimum becomes 1, then round sizes geometrically.
+
+    Raises ``ValueError`` for a non-positive guess: the binary search always
+    works with strictly positive guesses (the lower bound of a non-empty
+    instance is positive).
+    """
+    if makespan_guess <= 0:
+        raise ValueError(f"makespan guess must be positive, got {makespan_guess}")
+    scale = 1.0 / makespan_guess
+    scaled = instance.scaled(scale, name=f"{instance.name}#scaled")
+    rounded = round_instance(scaled, eps)
+    return RoundedInstance(instance=rounded, original=instance, eps=eps, scale=scale)

@@ -1,0 +1,129 @@
+"""Exhaustive branch-and-bound over job-to-machine assignments.
+
+A solver-free exact reference for *tiny* instances (roughly ``n <= 14``),
+used by property-based tests to validate both the exact MILP and the
+approximation guarantees on randomly generated micro-instances.  The search
+assigns jobs one at a time (largest first), prunes on
+
+* bag conflicts,
+* partial loads that already reach the incumbent makespan,
+* an area/remaining-work bound, and
+* machine symmetry (a job may open at most one previously empty machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import SolverLimitError
+from ..core.instance import Instance
+from ..core.result import SolverResult, timed_solver_result
+from ..core.schedule import Schedule
+
+__all__ = ["BruteForceConfig", "brute_force_schedule", "brute_force_optimum"]
+
+
+@dataclass(frozen=True, slots=True)
+class BruteForceConfig:
+    """Limits of the exhaustive search."""
+
+    max_nodes: int = 2_000_000
+    raise_on_limit: bool = True
+
+
+def _search(instance: Instance, config: BruteForceConfig) -> tuple[dict[int, int], float, int]:
+    jobs = sorted(instance.jobs, key=lambda job: (-job.size, job.id))
+    num_machines = instance.num_machines
+    sizes = [job.size for job in jobs]
+    bags = [job.bag for job in jobs]
+    suffix_work = [0.0] * (len(jobs) + 1)
+    for index in range(len(jobs) - 1, -1, -1):
+        suffix_work[index] = suffix_work[index + 1] + sizes[index]
+
+    best_assignment: dict[int, int] = {}
+    best_makespan = float("inf")
+    loads = [0.0] * num_machines
+    machine_bags: list[set[int]] = [set() for _ in range(num_machines)]
+    current: dict[int, int] = {}
+    nodes = 0
+
+    def lower_bound(index: int) -> float:
+        # Remaining work spread perfectly over all machines, measured from
+        # the current minimum load, is a valid completion bound.
+        remaining = suffix_work[index]
+        return max(max(loads), (sum(loads) + remaining) / num_machines)
+
+    def recurse(index: int) -> None:
+        nonlocal best_makespan, best_assignment, nodes
+        nodes += 1
+        if nodes > config.max_nodes:
+            if config.raise_on_limit:
+                raise SolverLimitError(
+                    f"brute force exceeded max_nodes={config.max_nodes} on "
+                    f"{instance.name!r} (n={instance.num_jobs})"
+                )
+            return
+        if index == len(jobs):
+            makespan = max(loads)
+            if makespan < best_makespan - 1e-12:
+                best_makespan = makespan
+                best_assignment = dict(current)
+            return
+        if lower_bound(index) >= best_makespan - 1e-12:
+            return
+        job = jobs[index]
+        size = sizes[index]
+        bag = bags[index]
+        opened_empty = False
+        for machine in range(num_machines):
+            if bag in machine_bags[machine]:
+                continue
+            is_empty = loads[machine] == 0.0
+            if is_empty:
+                # Machine symmetry: trying more than one empty machine for
+                # the same job only permutes machine names.
+                if opened_empty:
+                    continue
+                opened_empty = True
+            if loads[machine] + size >= best_makespan - 1e-12:
+                continue
+            loads[machine] += size
+            machine_bags[machine].add(bag)
+            current[job.id] = machine
+            recurse(index + 1)
+            del current[job.id]
+            machine_bags[machine].discard(bag)
+            loads[machine] -= size
+
+    recurse(0)
+    return best_assignment, best_makespan, nodes
+
+
+def brute_force_schedule(
+    instance: Instance, *, config: BruteForceConfig | None = None
+) -> SolverResult:
+    """Exact optimum by exhaustive search (tiny instances only)."""
+    config = config or BruteForceConfig()
+    diagnostics: dict[str, object] = {}
+
+    def build() -> Schedule:
+        assignment, makespan, nodes = _search(instance, config)
+        diagnostics["nodes"] = nodes
+        diagnostics["optimum"] = makespan
+        schedule = Schedule(instance, assignment)
+        return schedule
+
+    return timed_solver_result(
+        "brute-force",
+        build,
+        params={"max_nodes": config.max_nodes},
+        diagnostics=diagnostics,
+        optimal=True,
+    )
+
+
+def brute_force_optimum(
+    instance: Instance, *, config: BruteForceConfig | None = None
+) -> float:
+    """Return only the optimal makespan (convenience for tests)."""
+    return brute_force_schedule(instance, config=config).makespan

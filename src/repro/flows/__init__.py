@@ -1,0 +1,19 @@
+"""Flow-network substrate: Dinic max-flow, bag-to-machine assignment, matching."""
+
+from .maxflow import FlowNetwork, FlowResult, max_flow
+from .assignment import (
+    AssignmentProblem,
+    AssignmentResult,
+    maximum_bipartite_matching,
+    solve_bag_assignment,
+)
+
+__all__ = [
+    "AssignmentProblem",
+    "AssignmentResult",
+    "FlowNetwork",
+    "FlowResult",
+    "max_flow",
+    "maximum_bipartite_matching",
+    "solve_bag_assignment",
+]

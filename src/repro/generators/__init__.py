@@ -1,0 +1,27 @@
+"""Synthetic instance families (the paper publishes no benchmark data)."""
+
+from .families import (
+    FAMILIES,
+    GeneratedInstance,
+    bag_heavy_instance,
+    clustered_sizes_instance,
+    figure1_adversarial_instance,
+    generate,
+    planted_optimum_instance,
+    replica_workload_instance,
+    two_size_instance,
+    uniform_random_instance,
+)
+
+__all__ = [
+    "FAMILIES",
+    "GeneratedInstance",
+    "bag_heavy_instance",
+    "clustered_sizes_instance",
+    "figure1_adversarial_instance",
+    "generate",
+    "planted_optimum_instance",
+    "replica_workload_instance",
+    "two_size_instance",
+    "uniform_random_instance",
+]

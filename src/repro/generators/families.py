@@ -1,0 +1,419 @@
+"""Instance generators for benchmarks, tests and examples.
+
+The paper contains no benchmark instances, so the harness generates synthetic
+families that exercise the algorithmic phenomena the paper is about:
+
+* :func:`uniform_random_instance` — generic random workloads.
+* :func:`clustered_sizes_instance` — few distinct job sizes (keeps the
+  configuration MILP small; the regime where the EPTAS machinery is most
+  visible).
+* :func:`figure1_adversarial_instance` — the Figure-1 phenomenon: large jobs
+  can be packed to height OPT in a way that forces small jobs to overflow,
+  because a full bag of small jobs requires one small job on *every* machine.
+* :func:`replica_workload_instance` — the introduction's motivation:
+  services with replicas that must run on distinct machines (each service's
+  replicas form a bag).
+* :func:`planted_optimum_instance` — instances constructed backwards from a
+  feasible schedule, so a makespan upper bound (and usually the optimum) is
+  known exactly.
+* :func:`bag_heavy_instance` — many bags of near-machine cardinality, the
+  regime where bag constraints dominate the packing.
+
+All generators take a ``seed`` and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.job import Job
+
+__all__ = [
+    "GeneratedInstance",
+    "uniform_random_instance",
+    "clustered_sizes_instance",
+    "figure1_adversarial_instance",
+    "replica_workload_instance",
+    "planted_optimum_instance",
+    "bag_heavy_instance",
+    "two_size_instance",
+    "FAMILIES",
+    "generate",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedInstance:
+    """An instance plus generator-side knowledge about it.
+
+    ``known_optimum`` is an exact optimum when the generator can certify it,
+    ``optimum_upper_bound`` is a makespan achievable by construction (the
+    planted schedule), and both may be ``None``.
+    """
+
+    instance: Instance
+    known_optimum: float | None = None
+    optimum_upper_bound: float | None = None
+    description: str = ""
+
+
+# ----------------------------------------------------------------------
+# Generic random families
+# ----------------------------------------------------------------------
+def _assign_bags_randomly(
+    num_jobs: int, num_bags: int, num_machines: int, rng: np.random.Generator
+) -> list[int]:
+    """Random bag assignment that never exceeds ``num_machines`` jobs per bag."""
+    if num_bags <= 0:
+        raise ValueError("num_bags must be positive")
+    if num_jobs > num_bags * num_machines:
+        raise ValueError(
+            f"cannot place {num_jobs} jobs into {num_bags} bags of capacity "
+            f"{num_machines} each"
+        )
+    bags: list[int] = []
+    counts = np.zeros(num_bags, dtype=int)
+    for _ in range(num_jobs):
+        open_bags = np.flatnonzero(counts < num_machines)
+        choice = int(rng.choice(open_bags))
+        bags.append(choice)
+        counts[choice] += 1
+    return bags
+
+
+def uniform_random_instance(
+    *,
+    num_jobs: int = 60,
+    num_machines: int = 6,
+    num_bags: int = 12,
+    size_range: tuple[float, float] = (0.05, 1.0),
+    seed: int = 0,
+    name: str | None = None,
+) -> GeneratedInstance:
+    """Jobs with sizes uniform in ``size_range`` and random bag membership."""
+    rng = np.random.default_rng(seed)
+    low, high = size_range
+    sizes = rng.uniform(low, high, size=num_jobs)
+    bags = _assign_bags_randomly(num_jobs, num_bags, num_machines, rng)
+    instance = Instance.from_sizes(
+        sizes.tolist(),
+        bags,
+        num_machines,
+        name=name or f"uniform-n{num_jobs}-m{num_machines}-b{num_bags}-s{seed}",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        description="uniform random sizes, random bags",
+    )
+
+
+def clustered_sizes_instance(
+    *,
+    num_jobs: int = 60,
+    num_machines: int = 6,
+    num_bags: int = 10,
+    size_values: Sequence[float] = (1.0, 0.6, 0.3, 0.1),
+    weights: Sequence[float] | None = None,
+    seed: int = 0,
+    name: str | None = None,
+) -> GeneratedInstance:
+    """Jobs drawn from a small set of distinct sizes.
+
+    Few distinct sizes keep the number of rounded size classes (and hence
+    the pattern count of the configuration MILP) small, which is the regime
+    used by most EPTAS benchmarks.
+    """
+    rng = np.random.default_rng(seed)
+    values = np.asarray(size_values, dtype=float)
+    probabilities = None
+    if weights is not None:
+        probabilities = np.asarray(weights, dtype=float)
+        probabilities = probabilities / probabilities.sum()
+    sizes = rng.choice(values, size=num_jobs, p=probabilities)
+    bags = _assign_bags_randomly(num_jobs, num_bags, num_machines, rng)
+    instance = Instance.from_sizes(
+        sizes.tolist(),
+        bags,
+        num_machines,
+        name=name or f"clustered-n{num_jobs}-m{num_machines}-b{num_bags}-s{seed}",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        description=f"clustered sizes from {list(size_values)}",
+    )
+
+
+def two_size_instance(
+    *,
+    num_machines: int = 8,
+    large_size: float = 0.65,
+    small_size: float = 0.35,
+    large_per_machine: int = 1,
+    seed: int = 0,
+    name: str | None = None,
+) -> GeneratedInstance:
+    """A two-size family with known optimum ``large + small`` per machine.
+
+    Every machine receives ``large_per_machine`` large jobs and one small
+    job in the planted optimum; bags are chosen so the planted schedule is
+    feasible but a careless schedule conflicts.
+    """
+    rng = np.random.default_rng(seed)
+    jobs: list[Job] = []
+    job_id = 0
+    # Bags: one bag per "slot position" so every bag has exactly m jobs.
+    for position in range(large_per_machine):
+        for _ in range(num_machines):
+            jobs.append(Job(id=job_id, size=large_size, bag=position))
+            job_id += 1
+    for _ in range(num_machines):
+        jobs.append(Job(id=job_id, size=small_size, bag=large_per_machine))
+        job_id += 1
+    rng.shuffle(jobs)
+    instance = Instance(
+        jobs,
+        num_machines,
+        name=name or f"twosize-m{num_machines}-s{seed}",
+    )
+    optimum = large_per_machine * large_size + small_size
+    return GeneratedInstance(
+        instance=instance,
+        known_optimum=optimum,
+        optimum_upper_bound=optimum,
+        description="two job sizes, full bags, known optimum",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 1: large-job placement matters
+# ----------------------------------------------------------------------
+def figure1_adversarial_instance(
+    *,
+    num_machines: int = 6,
+    large_size: float = 0.5,
+    seed: int = 0,
+    name: str | None = None,
+) -> GeneratedInstance:
+    """The Figure-1 phenomenon as a concrete family.
+
+    ``m`` large jobs of size ``large_size`` live in *distinct* bags, so any
+    two of them may share a machine; ``m`` small jobs of size
+    ``1 - large_size`` all live in *one* bag, so every machine must take
+    exactly one of them.  The optimum pairs one large and one small job per
+    machine (makespan ``1``).  A schedule that greedily packs two large jobs
+    per machine still has large-job height ``2*large_size <= 1`` but is then
+    forced to put a small job on top of a doubly-loaded machine, exceeding
+    the optimum — exactly the situation depicted in Figure 1 of the paper.
+    """
+    if not 0 < large_size < 1:
+        raise ValueError("large_size must lie strictly between 0 and 1")
+    small_size = 1.0 - large_size
+    rng = np.random.default_rng(seed)
+    jobs: list[Job] = []
+    job_id = 0
+    for index in range(num_machines):
+        jobs.append(
+            Job(id=job_id, size=large_size, bag=1 + index, meta={"role": "large"})
+        )
+        job_id += 1
+    for _ in range(num_machines):
+        jobs.append(Job(id=job_id, size=small_size, bag=0, meta={"role": "small"}))
+        job_id += 1
+    rng.shuffle(jobs)
+    instance = Instance(
+        jobs,
+        num_machines,
+        name=name or f"figure1-m{num_machines}-L{large_size:g}",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        known_optimum=1.0,
+        optimum_upper_bound=1.0,
+        description="Figure 1 adversarial family: one full bag of small jobs",
+    )
+
+
+# ----------------------------------------------------------------------
+# Introduction motivation: replicated services
+# ----------------------------------------------------------------------
+def replica_workload_instance(
+    *,
+    num_services: int = 12,
+    num_machines: int = 8,
+    replicas_range: tuple[int, int] = (2, 4),
+    size_range: tuple[float, float] = (0.1, 0.9),
+    heterogeneous_replicas: bool = False,
+    seed: int = 0,
+    name: str | None = None,
+) -> GeneratedInstance:
+    """Replicated services: each service's replicas form one bag.
+
+    This is the scenario from the paper's introduction — replicas are forced
+    onto distinct machines so that a single machine failure cannot take down
+    a whole service.  Replica counts are drawn uniformly from
+    ``replicas_range`` (capped at the machine count), sizes per service from
+    ``size_range``; with ``heterogeneous_replicas`` each replica gets its own
+    size (e.g. a primary heavier than secondaries).
+    """
+    rng = np.random.default_rng(seed)
+    jobs: list[Job] = []
+    job_id = 0
+    lo, hi = replicas_range
+    for service in range(num_services):
+        replicas = int(rng.integers(lo, hi + 1))
+        replicas = min(replicas, num_machines)
+        base_size = float(rng.uniform(*size_range))
+        for replica in range(replicas):
+            if heterogeneous_replicas:
+                size = float(base_size * rng.uniform(0.7, 1.3))
+            else:
+                size = base_size
+            jobs.append(
+                Job(
+                    id=job_id,
+                    size=size,
+                    bag=service,
+                    meta={"service": service, "replica": replica},
+                )
+            )
+            job_id += 1
+    instance = Instance(
+        jobs,
+        num_machines,
+        name=name or f"replicas-svc{num_services}-m{num_machines}-s{seed}",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        description="replicated services (bag = service), intro motivation",
+    )
+
+
+# ----------------------------------------------------------------------
+# Planted optimum
+# ----------------------------------------------------------------------
+def planted_optimum_instance(
+    *,
+    num_machines: int = 8,
+    target_load: float = 1.0,
+    jobs_per_machine_range: tuple[int, int] = (2, 5),
+    seed: int = 0,
+    name: str | None = None,
+) -> GeneratedInstance:
+    """Build an instance backwards from a feasible schedule.
+
+    Each machine is filled with a random number of jobs whose sizes sum to
+    exactly ``target_load``.  The bag of a job is its *position* on its
+    machine, so every bag has at most ``m`` members and the planted schedule
+    is conflict-free.  The planted makespan ``target_load`` is therefore an
+    upper bound on the optimum; it equals the optimum whenever
+    ``target_load`` also matches the area bound, which holds by construction
+    (every machine is filled to the same level).
+    """
+    rng = np.random.default_rng(seed)
+    jobs: list[Job] = []
+    job_id = 0
+    lo, hi = jobs_per_machine_range
+    for machine in range(num_machines):
+        count = int(rng.integers(lo, hi + 1))
+        # Random composition of `target_load` into `count` positive parts.
+        cuts = np.sort(rng.uniform(0.0, target_load, size=count - 1)) if count > 1 else np.array([])
+        boundaries = np.concatenate(([0.0], cuts, [target_load]))
+        parts = np.diff(boundaries)
+        # Avoid degenerate zero-size jobs from duplicate cuts.
+        parts = np.maximum(parts, 1e-6)
+        parts = parts * (target_load / parts.sum())
+        for position, size in enumerate(parts):
+            jobs.append(
+                Job(
+                    id=job_id,
+                    size=float(size),
+                    bag=position,
+                    meta={"planted_machine": machine},
+                )
+            )
+            job_id += 1
+    rng.shuffle(jobs)
+    instance = Instance(
+        jobs,
+        num_machines,
+        name=name or f"planted-m{num_machines}-T{target_load:g}-s{seed}",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        known_optimum=target_load,
+        optimum_upper_bound=target_load,
+        description="planted schedule with equal machine loads",
+    )
+
+
+def bag_heavy_instance(
+    *,
+    num_machines: int = 6,
+    num_full_bags: int = 4,
+    extra_jobs: int = 10,
+    size_range: tuple[float, float] = (0.1, 0.6),
+    seed: int = 0,
+    name: str | None = None,
+) -> GeneratedInstance:
+    """Instances dominated by full bags (``|B| = m``).
+
+    ``num_full_bags`` bags contain exactly ``m`` jobs each, so every machine
+    must host one job of each of them; ``extra_jobs`` additional jobs in
+    singleton bags add slack.  This family stresses the bag-constraint
+    machinery (a large fraction of jobs is pinned by cardinality).
+    """
+    rng = np.random.default_rng(seed)
+    jobs: list[Job] = []
+    job_id = 0
+    for bag in range(num_full_bags):
+        for _ in range(num_machines):
+            jobs.append(Job(id=job_id, size=float(rng.uniform(*size_range)), bag=bag))
+            job_id += 1
+    for extra in range(extra_jobs):
+        jobs.append(
+            Job(
+                id=job_id,
+                size=float(rng.uniform(*size_range)),
+                bag=num_full_bags + extra,
+            )
+        )
+        job_id += 1
+    rng.shuffle(jobs)
+    instance = Instance(
+        jobs,
+        num_machines,
+        name=name or f"bagheavy-m{num_machines}-f{num_full_bags}-s{seed}",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        description="several full bags plus singleton filler jobs",
+    )
+
+
+# ----------------------------------------------------------------------
+# Family registry used by the experiment harness and the CLI
+# ----------------------------------------------------------------------
+FAMILIES: dict[str, Callable[..., GeneratedInstance]] = {
+    "uniform": uniform_random_instance,
+    "clustered": clustered_sizes_instance,
+    "two-size": two_size_instance,
+    "figure1": figure1_adversarial_instance,
+    "replicas": replica_workload_instance,
+    "planted": planted_optimum_instance,
+    "bag-heavy": bag_heavy_instance,
+}
+
+
+def generate(family: str, **kwargs: object) -> GeneratedInstance:
+    """Generate an instance of a named family (see :data:`FAMILIES`)."""
+    try:
+        generator = FAMILIES[family]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown instance family {family!r}; available: {sorted(FAMILIES)}"
+        ) from exc
+    return generator(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,69 @@
+"""MILP/LP substrate: model builder, HiGHS backend, own branch and bound.
+
+The paper's EPTAS solves a configuration MILP with a constant number of
+integral variables using the Kannan/Lenstra fixed-dimension algorithm.  This
+package substitutes two interchangeable exact oracles (see DESIGN.md §4):
+
+* :func:`repro.milp.scipy_backend.solve_with_scipy` — HiGHS via scipy.
+* :func:`repro.milp.branch_and_bound.solve_with_branch_and_bound` — a
+  from-scratch LP-based branch and bound.
+
+:func:`solve_model` picks a backend by name and is the single entry point
+used by the algorithms.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    CompiledModel,
+    Constraint,
+    LinearModel,
+    MilpSolution,
+    Sense,
+    SolutionStatus,
+    Variable,
+    VarType,
+)
+from .scipy_backend import solve_lp_relaxation, solve_with_scipy
+from .branch_and_bound import BranchAndBoundConfig, solve_with_branch_and_bound
+
+__all__ = [
+    "BranchAndBoundConfig",
+    "CompiledModel",
+    "Constraint",
+    "LinearModel",
+    "MilpSolution",
+    "Sense",
+    "SolutionStatus",
+    "VarType",
+    "Variable",
+    "solve_lp_relaxation",
+    "solve_model",
+    "solve_with_branch_and_bound",
+    "solve_with_scipy",
+]
+
+
+def solve_model(
+    model: LinearModel | CompiledModel,
+    *,
+    backend: str = "scipy",
+    time_limit: float | None = None,
+    mip_rel_gap: float = 0.0,
+    bnb_config: BranchAndBoundConfig | None = None,
+) -> MilpSolution:
+    """Solve a model with the chosen backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"scipy"`` (default, HiGHS), ``"bnb"`` (own branch and bound), or
+        ``"lp"`` (LP relaxation only — used for bounds and diagnostics).
+    """
+    if backend == "scipy":
+        return solve_with_scipy(model, time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+    if backend == "bnb":
+        return solve_with_branch_and_bound(model, bnb_config)
+    if backend == "lp":
+        return solve_lp_relaxation(model)
+    raise ValueError(f"unknown MILP backend {backend!r}; expected 'scipy', 'bnb' or 'lp'")

@@ -1,0 +1,177 @@
+"""HiGHS-based backend for the MILP model builder.
+
+The paper assumes an exact fixed-dimension MILP oracle (Kannan/Lenstra).  We
+substitute scipy's HiGHS interface: :func:`scipy.optimize.milp` for
+mixed-integer models and :func:`scipy.optimize.linprog` for pure LPs and LP
+relaxations.  The backend is exact on the models this library produces and
+returns a :class:`~repro.milp.model.MilpSolution` in terms of the symbolic
+variable names.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from scipy import optimize
+
+from .model import CompiledModel, LinearModel, MilpSolution, SolutionStatus
+
+__all__ = ["solve_with_scipy", "solve_lp_relaxation"]
+
+
+def _compiled(model: LinearModel | CompiledModel) -> CompiledModel:
+    return model.compile() if isinstance(model, LinearModel) else model
+
+
+def _build_constraints(compiled: CompiledModel) -> list[optimize.LinearConstraint]:
+    constraints: list[optimize.LinearConstraint] = []
+    if compiled.a_ub.shape[0]:
+        constraints.append(
+            optimize.LinearConstraint(
+                compiled.a_ub, -np.inf * np.ones(compiled.a_ub.shape[0]), compiled.b_ub
+            )
+        )
+    if compiled.a_eq.shape[0]:
+        constraints.append(
+            optimize.LinearConstraint(compiled.a_eq, compiled.b_eq, compiled.b_eq)
+        )
+    return constraints
+
+
+def _solution_from_values(
+    compiled: CompiledModel,
+    status: SolutionStatus,
+    objective: float,
+    values: np.ndarray | None,
+    diagnostics: dict[str, Any],
+) -> MilpSolution:
+    mapping: dict[str, float] = {}
+    if values is not None:
+        mapping = {
+            name: float(value)
+            for name, value in zip(compiled.variable_names, values)
+        }
+    return MilpSolution(
+        status=status, objective=objective, values=mapping, diagnostics=diagnostics
+    )
+
+
+def solve_with_scipy(
+    model: LinearModel | CompiledModel,
+    *,
+    time_limit: float | None = None,
+    mip_rel_gap: float = 0.0,
+    node_limit: int | None = None,
+) -> MilpSolution:
+    """Solve a mixed-integer linear model with HiGHS.
+
+    ``mip_rel_gap`` keeps HiGHS exact by default (gap ``0``); a small
+    positive gap can be passed for large experiment models where a certified
+    near-optimal configuration solution is sufficient (the EPTAS analysis
+    only needs a feasible configuration solution of value at most ``T``).
+    """
+    compiled = _compiled(model)
+    if compiled.num_variables == 0:
+        return MilpSolution(status=SolutionStatus.OPTIMAL, objective=0.0, values={})
+
+    options: dict[str, Any] = {"mip_rel_gap": mip_rel_gap}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if node_limit is not None:
+        options["node_limit"] = int(node_limit)
+
+    result = optimize.milp(
+        c=compiled.objective,
+        constraints=_build_constraints(compiled),
+        integrality=compiled.integrality,
+        bounds=optimize.Bounds(compiled.lower, compiled.upper),
+        options=options,
+    )
+
+    diagnostics: dict[str, Any] = {
+        "backend": "scipy-highs",
+        "scipy_status": int(result.status),
+        "message": str(result.message),
+        "mip_node_count": getattr(result, "mip_node_count", None),
+        "mip_gap": getattr(result, "mip_gap", None),
+    }
+
+    # scipy.optimize.milp status codes: 0 optimal, 1 iteration/time limit,
+    # 2 infeasible, 3 unbounded, 4 other.
+    if result.status == 0 and result.x is not None:
+        return _solution_from_values(
+            compiled, SolutionStatus.OPTIMAL, float(result.fun), result.x, diagnostics
+        )
+    if result.status == 1 and result.x is not None:
+        return _solution_from_values(
+            compiled, SolutionStatus.FEASIBLE, float(result.fun), result.x, diagnostics
+        )
+    if result.status == 2:
+        return _solution_from_values(
+            compiled, SolutionStatus.INFEASIBLE, float("inf"), None, diagnostics
+        )
+    if result.status == 3:
+        return _solution_from_values(
+            compiled, SolutionStatus.UNBOUNDED, float("-inf"), None, diagnostics
+        )
+    return _solution_from_values(
+        compiled, SolutionStatus.LIMIT, float("inf"), None, diagnostics
+    )
+
+
+def solve_lp_relaxation(
+    model: LinearModel | CompiledModel,
+    *,
+    extra_upper: dict[int, float] | None = None,
+    extra_lower: dict[int, float] | None = None,
+) -> MilpSolution:
+    """Solve the LP relaxation of a model (integrality dropped).
+
+    ``extra_lower`` / ``extra_upper`` override individual variable bounds by
+    dense index — this is the hook the branch-and-bound solver uses to
+    impose branching decisions without rebuilding the model.
+    """
+    compiled = _compiled(model)
+    if compiled.num_variables == 0:
+        return MilpSolution(status=SolutionStatus.OPTIMAL, objective=0.0, values={})
+
+    lower = compiled.lower.copy()
+    upper = compiled.upper.copy()
+    if extra_lower:
+        for index, value in extra_lower.items():
+            lower[index] = max(lower[index], value)
+    if extra_upper:
+        for index, value in extra_upper.items():
+            upper[index] = min(upper[index], value)
+
+    bounds = list(zip(lower, [None if np.isinf(u) else u for u in upper]))
+    result = optimize.linprog(
+        c=compiled.objective,
+        A_ub=compiled.a_ub if compiled.a_ub.shape[0] else None,
+        b_ub=compiled.b_ub if compiled.a_ub.shape[0] else None,
+        A_eq=compiled.a_eq if compiled.a_eq.shape[0] else None,
+        b_eq=compiled.b_eq if compiled.a_eq.shape[0] else None,
+        bounds=bounds,
+        method="highs",
+    )
+    diagnostics: dict[str, Any] = {
+        "backend": "scipy-linprog",
+        "scipy_status": int(result.status),
+        "message": str(result.message),
+    }
+    if result.status == 0:
+        return _solution_from_values(
+            compiled, SolutionStatus.OPTIMAL, float(result.fun), result.x, diagnostics
+        )
+    if result.status == 2:
+        return _solution_from_values(
+            compiled, SolutionStatus.INFEASIBLE, float("inf"), None, diagnostics
+        )
+    if result.status == 3:
+        return _solution_from_values(
+            compiled, SolutionStatus.UNBOUNDED, float("-inf"), None, diagnostics
+        )
+    return _solution_from_values(
+        compiled, SolutionStatus.LIMIT, float("inf"), None, diagnostics
+    )

@@ -1,0 +1,15 @@
+"""Discrete-event cluster simulator (the paper's fault-tolerance motivation)."""
+
+from .cluster import (
+    ClusterSimulator,
+    MachineFailure,
+    SimulationReport,
+    simulate_schedule,
+)
+
+__all__ = [
+    "ClusterSimulator",
+    "MachineFailure",
+    "SimulationReport",
+    "simulate_schedule",
+]

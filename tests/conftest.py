@@ -1,0 +1,83 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job, Schedule
+from repro.generators import (
+    bag_heavy_instance,
+    figure1_adversarial_instance,
+    planted_optimum_instance,
+    replica_workload_instance,
+    two_size_instance,
+    uniform_random_instance,
+)
+
+
+# ----------------------------------------------------------------------
+# Small hand-built instances
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """4 jobs, 2 bags, 2 machines; optimum 5 (3+2 / 2+2 is infeasible by bags)."""
+    return Instance.from_sizes(
+        [3.0, 2.0, 2.0, 1.0], bags=[0, 0, 1, 1], num_machines=2, name="tiny"
+    )
+
+
+@pytest.fixture
+def singleton_bags_instance() -> Instance:
+    """Plain P||Cmax instance (every job in its own bag)."""
+    return Instance.without_bags([4.0, 3.0, 3.0, 2.0, 2.0, 2.0], num_machines=3, name="plain")
+
+
+@pytest.fixture
+def full_bag_instance() -> Instance:
+    """One bag with exactly m jobs: every machine must take one of them."""
+    return Instance.from_sizes(
+        [2.0, 2.0, 2.0, 1.0, 1.0, 1.0],
+        bags=[0, 0, 0, 1, 2, 3],
+        num_machines=3,
+        name="full-bag",
+    )
+
+
+@pytest.fixture
+def figure1_instance() -> Instance:
+    return figure1_adversarial_instance(num_machines=4, seed=0).instance
+
+
+@pytest.fixture
+def uniform_instance() -> Instance:
+    return uniform_random_instance(
+        num_jobs=24, num_machines=4, num_bags=8, seed=7
+    ).instance
+
+
+@pytest.fixture
+def replica_instance() -> Instance:
+    return replica_workload_instance(num_services=8, num_machines=5, seed=3).instance
+
+
+@pytest.fixture
+def planted_instance():
+    return planted_optimum_instance(num_machines=5, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def assert_feasible(schedule: Schedule) -> None:
+    """Assert a schedule is complete and conflict-free."""
+    report = schedule.validation_report()
+    assert report.is_feasible, report.summary()
+
+
+def make_instance(sizes, bags, machines, name="test") -> Instance:
+    return Instance.from_sizes(list(sizes), bags=list(bags), num_machines=machines, name=name)
+
+
+def make_jobs(*specs: tuple[float, int]) -> list[Job]:
+    """Build jobs from (size, bag) tuples with sequential ids."""
+    return [Job(id=i, size=float(size), bag=int(bag)) for i, (size, bag) in enumerate(specs)]

@@ -1,0 +1,39 @@
+"""Unit tests for the coloring-based 2-approximation baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import coloring_schedule
+from repro.bounds import combined_lower_bound
+from repro.generators import bag_heavy_instance, uniform_random_instance
+
+from conftest import assert_feasible
+
+
+def test_feasible_on_fixtures(tiny_instance, uniform_instance, full_bag_instance):
+    for instance in (tiny_instance, uniform_instance, full_bag_instance):
+        result = coloring_schedule(instance)
+        assert_feasible(result.schedule)
+
+
+def test_figure1_solved_well(figure1_instance):
+    result = coloring_schedule(figure1_instance)
+    assert_feasible(result.schedule)
+    assert result.makespan <= 2.0 + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_within_twice_lower_bound(seed):
+    instance = uniform_random_instance(
+        num_jobs=30, num_machines=5, num_bags=8, seed=seed
+    ).instance
+    result = coloring_schedule(instance)
+    assert result.makespan <= 2.0 * combined_lower_bound(instance) + 1e-9
+
+
+def test_bag_heavy_instances(seed=0):
+    instance = bag_heavy_instance(num_machines=4, num_full_bags=4, extra_jobs=6, seed=seed).instance
+    result = coloring_schedule(instance)
+    assert_feasible(result.schedule)
+    assert result.makespan <= 2.0 * combined_lower_bound(instance) + 1e-9

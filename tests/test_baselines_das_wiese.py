@@ -1,0 +1,73 @@
+"""Unit tests for the Das–Wiese-style configuration-ILP baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DasWieseConfig, das_wiese_schedule
+from repro.baselines.das_wiese import _enumerate_configurations, _rounded_size
+from repro.bounds import combined_lower_bound
+from repro.core.errors import SolverLimitError
+from repro.exact import exact_milp_schedule
+from repro.generators import figure1_adversarial_instance, uniform_random_instance
+
+from conftest import assert_feasible
+
+
+class TestHelpers:
+    def test_rounded_size_is_power_and_upper_bound(self):
+        eps = 0.25
+        for size in (0.3, 0.5, 0.77, 1.0, 2.3):
+            rounded = _rounded_size(size, eps)
+            assert rounded >= size - 1e-12
+            assert rounded <= size * (1 + eps) + 1e-12
+
+    def test_rounded_size_zero(self):
+        assert _rounded_size(0.0, 0.5) == 0.0
+
+    def test_enumerate_configurations_respects_bags_and_capacity(self):
+        groups = [(0, 0.6, 2), (0, 0.4, 1), (1, 0.5, 3)]
+        configs = list(_enumerate_configurations(groups, 1.0, max_configurations=1000))
+        for counts, height in configs:
+            assert height <= 1.0 + 1e-9
+            # at most one job per bag
+            assert counts[0] + counts[1] <= 1
+        # the empty configuration is present
+        assert any(sum(counts) == 0 for counts, _ in configs)
+
+    def test_enumeration_limit(self):
+        groups = [(bag, 0.01, 5) for bag in range(20)]
+        with pytest.raises(SolverLimitError):
+            list(_enumerate_configurations(groups, 10.0, max_configurations=50))
+
+
+class TestDasWieseScheduler:
+    def test_feasible_and_near_optimal_on_figure1(self):
+        instance = figure1_adversarial_instance(num_machines=4).instance
+        result = das_wiese_schedule(instance, eps=0.25)
+        assert_feasible(result.schedule)
+        assert result.makespan <= (1 + 3 * 0.25) * 1.0 + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_feasible_on_random_instances(self, seed):
+        instance = uniform_random_instance(
+            num_jobs=16, num_machines=4, num_bags=6, seed=seed
+        ).instance
+        result = das_wiese_schedule(instance, eps=0.3)
+        assert_feasible(result.schedule)
+        assert result.makespan <= 2.0 * combined_lower_bound(instance) + 1e-9
+
+    def test_quality_against_exact(self):
+        instance = uniform_random_instance(
+            num_jobs=14, num_machines=3, num_bags=5, seed=5
+        ).instance
+        optimum = exact_milp_schedule(instance).makespan
+        result = das_wiese_schedule(instance, eps=0.25)
+        # PTAS guarantee with the documented constant (1 + O(eps)).
+        assert result.makespan <= (1 + 4 * 0.25) * optimum + 1e-9
+
+    def test_diagnostics_and_params(self):
+        instance = figure1_adversarial_instance(num_machines=3).instance
+        result = das_wiese_schedule(instance, eps=0.5)
+        assert result.params["eps"] == 0.5
+        assert "search_iterations" in result.diagnostics

@@ -1,0 +1,82 @@
+"""Unit tests for greedy list scheduling and first-fit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    first_fit_schedule,
+    greedy_assign,
+    greedy_schedule,
+    upper_bound_makespan,
+)
+from repro.bounds import combined_lower_bound
+from repro.core import Schedule
+from repro.generators import uniform_random_instance
+
+from conftest import assert_feasible
+
+
+class TestGreedySchedule:
+    def test_feasible_on_fixtures(self, tiny_instance, uniform_instance, replica_instance):
+        for instance in (tiny_instance, uniform_instance, replica_instance):
+            result = greedy_schedule(instance)
+            assert_feasible(result.schedule)
+            assert result.makespan >= combined_lower_bound(instance) - 1e-9
+
+    def test_respects_bags(self, full_bag_instance):
+        result = greedy_schedule(full_bag_instance)
+        assert_feasible(result.schedule)
+        # Bag 0 has exactly m jobs: each machine holds exactly one of them.
+        machines = {result.schedule.machine_of(job.id) for job in full_bag_instance.bag(0)}
+        assert len(machines) == full_bag_instance.num_machines
+
+    def test_custom_order(self, tiny_instance):
+        order = sorted(tiny_instance.jobs, key=lambda job: job.size)
+        result = greedy_schedule(tiny_instance, order=order)
+        assert_feasible(result.schedule)
+        assert result.params["order"] == "custom"
+
+    def test_extends_partial_schedule(self, tiny_instance):
+        partial = Schedule(tiny_instance, allow_partial=True).assign(0, 0)
+        completed = greedy_assign(tiny_instance, schedule=partial)
+        assert completed.is_complete
+        assert completed.machine_of(0) == 0
+        assert_feasible(completed)
+
+    def test_greedy_is_2_approx_on_random_instances(self):
+        # The bag-aware greedy rule is a 2-approximation for cluster
+        # conflict graphs; check against the lower bound on several seeds.
+        for seed in range(5):
+            instance = uniform_random_instance(
+                num_jobs=30, num_machines=5, num_bags=10, seed=seed
+            ).instance
+            result = greedy_schedule(instance)
+            assert result.makespan <= 2.0 * combined_lower_bound(instance) + 1e-9
+
+
+class TestFirstFit:
+    def test_feasible(self, uniform_instance):
+        result = first_fit_schedule(uniform_instance)
+        assert_feasible(result.schedule)
+
+    def test_capacity_mode(self, uniform_instance):
+        bound = combined_lower_bound(uniform_instance)
+        result = first_fit_schedule(uniform_instance, capacity=bound * 1.5)
+        assert_feasible(result.schedule)
+
+    def test_first_fit_is_naive_on_figure1(self, figure1_instance):
+        # First-fit packs the large jobs together and pays for it; this is
+        # the Figure-1 phenomenon the EPTAS avoids.
+        naive = first_fit_schedule(figure1_instance)
+        assert naive.makespan > 1.0 + 1e-9
+
+
+class TestUpperBound:
+    def test_upper_bound_brackets_greedy(self, uniform_instance):
+        upper = upper_bound_makespan(uniform_instance)
+        assert upper >= combined_lower_bound(uniform_instance) - 1e-9
+        result = greedy_schedule(uniform_instance)
+        # The LPT-ordered bound is never worse than twice the lower bound.
+        assert upper <= 2.0 * combined_lower_bound(uniform_instance) + 1e-9
+        assert result.makespan > 0

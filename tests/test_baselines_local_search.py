@@ -1,0 +1,98 @@
+"""Unit tests for the move/swap local search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    greedy_schedule,
+    improve_schedule,
+    local_search_schedule,
+    lpt_schedule,
+)
+from repro.bounds import combined_lower_bound
+from repro.core import Instance, Schedule
+from repro.exact import brute_force_optimum
+from repro.generators import uniform_random_instance
+
+from conftest import assert_feasible
+
+
+class TestImproveSchedule:
+    def test_improves_a_deliberately_bad_schedule(self):
+        instance = Instance.without_bags([4.0, 3.0, 3.0, 2.0], num_machines=2)
+        # Everything on machine 0: makespan 12, optimum 6.
+        schedule = Schedule(instance).assign_many([(0, 0), (1, 0), (2, 0), (3, 0)])
+        stats = improve_schedule(schedule)
+        assert stats.improvement > 0
+        assert schedule.makespan() == pytest.approx(6.0)
+        assert_feasible(schedule)
+
+    def test_respects_bag_constraints(self):
+        # bag 0 has 2 jobs on 2 machines: they may never end up together.
+        instance = Instance.from_sizes(
+            [5.0, 5.0, 1.0, 1.0], bags=[0, 0, 1, 2], num_machines=2
+        )
+        schedule = Schedule(instance).assign_many([(0, 0), (1, 1), (2, 0), (3, 0)])
+        improve_schedule(schedule)
+        assert_feasible(schedule)
+        assert schedule.machine_of(0) != schedule.machine_of(1)
+
+    def test_never_worsens(self):
+        for seed in range(4):
+            instance = uniform_random_instance(
+                num_jobs=20, num_machines=4, num_bags=7, seed=seed
+            ).instance
+            schedule = lpt_schedule(instance).schedule
+            before = schedule.makespan()
+            stats = improve_schedule(schedule)
+            assert schedule.makespan() <= before + 1e-12
+            assert stats.final_makespan == pytest.approx(schedule.makespan())
+            assert_feasible(schedule)
+
+    def test_stats_counters_consistent(self):
+        instance = Instance.without_bags([4.0, 3.0, 3.0, 2.0], num_machines=2)
+        schedule = Schedule(instance).assign_many([(0, 0), (1, 0), (2, 0), (3, 0)])
+        stats = improve_schedule(schedule)
+        assert stats.moves + stats.swaps >= 1
+        assert stats.rounds >= stats.moves + stats.swaps
+        data = stats.to_dict()
+        assert data["improvement"] == pytest.approx(stats.improvement)
+
+    def test_incomplete_schedule_rejected(self, tiny_instance):
+        with pytest.raises(Exception):
+            improve_schedule(Schedule(tiny_instance).assign(0, 0))
+
+
+class TestLocalSearchSolver:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_feasible_and_at_least_as_good_as_lpt(self, seed):
+        instance = uniform_random_instance(
+            num_jobs=24, num_machines=4, num_bags=8, seed=seed
+        ).instance
+        improved = local_search_schedule(instance)
+        baseline = lpt_schedule(instance)
+        assert_feasible(improved.schedule)
+        assert improved.makespan <= baseline.makespan + 1e-9
+        assert improved.makespan >= combined_lower_bound(instance) - 1e-9
+
+    def test_reaches_optimum_on_small_instances(self):
+        instance = uniform_random_instance(
+            num_jobs=8, num_machines=2, num_bags=4, seed=5
+        ).instance
+        optimum = brute_force_optimum(instance)
+        improved = local_search_schedule(instance)
+        # Local search is a heuristic; on these tiny instances the move/swap
+        # neighbourhood is strong enough to get within a few percent.
+        assert improved.makespan <= 1.1 * optimum + 1e-9
+
+    def test_diagnostics_present(self, uniform_instance):
+        result = local_search_schedule(uniform_instance)
+        assert "moves" in result.diagnostics
+        assert "final_makespan" in result.diagnostics
+        assert result.solver == "lpt+local-search"
+
+    def test_beats_plain_greedy_on_adversarial_order(self, figure1_instance):
+        greedy = greedy_schedule(figure1_instance)
+        improved = local_search_schedule(figure1_instance)
+        assert improved.makespan <= greedy.makespan + 1e-9

@@ -1,0 +1,123 @@
+"""Unit tests for the LPT family: LPT, bag-LPT, group-bag-LPT (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import bag_lpt, group_bag_lpt, lpt_schedule, small_job_lpt_schedule
+from repro.core import Job
+from repro.core.errors import AlgorithmError
+from repro.generators import uniform_random_instance
+
+from conftest import assert_feasible, make_jobs
+
+
+class TestLptSchedule:
+    def test_feasible_and_reasonable(self, uniform_instance, figure1_instance):
+        for instance in (uniform_instance, figure1_instance):
+            result = lpt_schedule(instance)
+            assert_feasible(result.schedule)
+
+    def test_lpt_solves_figure1_optimally(self, figure1_instance):
+        assert lpt_schedule(figure1_instance).makespan == pytest.approx(1.0)
+
+    def test_plain_lpt_bound(self, singleton_bags_instance):
+        # Without bag constraints LPT is a 4/3-approximation; optimum is 6.
+        result = lpt_schedule(singleton_bags_instance)
+        assert result.makespan <= 4 / 3 * 6 + 1e-9
+
+
+class TestBagLpt:
+    def test_lemma8_spread_bound(self):
+        """Lemma 8: final loads differ by at most the largest job size."""
+        machines = [0, 1, 2, 3]
+        loads = {m: 1.0 for m in machines}
+        bags = [
+            make_jobs((0.5, 0), (0.4, 0), (0.3, 0), (0.2, 0)),
+            [Job(id=10 + i, size=0.3, bag=1) for i in range(4)],
+        ]
+        result = bag_lpt(machines, loads, bags)
+        p_max = 0.5
+        assert result.spread() <= p_max + 1e-9
+
+    def test_lemma8_average_bound(self):
+        """Lemma 8: max load <= h + area/m' + p_max on equal-height machines."""
+        machines = list(range(5))
+        h = 2.0
+        loads = {m: h for m in machines}
+        bags = [
+            [Job(id=i, size=0.2 + 0.05 * i, bag=0) for i in range(5)],
+            [Job(id=10 + i, size=0.1, bag=1) for i in range(5)],
+        ]
+        area = sum(job.size for bag in bags for job in bag)
+        p_max = max(job.size for bag in bags for job in bag)
+        result = bag_lpt(machines, loads, bags)
+        assert result.max_load() <= h + area / len(machines) + p_max + 1e-9
+
+    def test_jobs_of_one_bag_on_distinct_machines(self):
+        machines = ["a", "b", "c"]
+        bags = [make_jobs((1.0, 0), (0.5, 0), (0.25, 0))]
+        result = bag_lpt(machines, {}, bags)
+        assert len(set(result.assignment.values())) == 3
+
+    def test_largest_job_to_least_loaded_machine(self):
+        machines = [0, 1]
+        loads = {0: 5.0, 1: 1.0}
+        bags = [make_jobs((3.0, 0), (1.0, 0))]
+        result = bag_lpt(machines, loads, bags)
+        jobs = {job.id: job for bag in bags for job in bag}
+        big = next(j for j in jobs.values() if j.size == 3.0)
+        assert result.assignment[big.id] == 1
+
+    def test_bag_larger_than_group_rejected(self):
+        with pytest.raises(AlgorithmError):
+            bag_lpt([0], {}, [make_jobs((1.0, 0), (1.0, 0))])
+
+    def test_no_machines_no_jobs(self):
+        result = bag_lpt([], {}, [])
+        assert result.assignment == {}
+        assert result.spread() == 0.0
+
+    def test_no_machines_with_jobs_rejected(self):
+        with pytest.raises(AlgorithmError):
+            bag_lpt([], {}, [make_jobs((1.0, 0))])
+
+
+class TestGroupBagLpt:
+    def test_routing_respects_group_sizes(self):
+        group_sizes = {0: 2, 1: 3}
+        group_loads = {0: 1.0, 1: 0.5}
+        bags = [make_jobs((0.9, 0), (0.8, 0), (0.7, 0), (0.6, 0), (0.5, 0))]
+        routed = group_bag_lpt(group_sizes, group_loads, bags)
+        assert len(routed.jobs_per_group[0]) <= 2
+        assert len(routed.jobs_per_group[1]) <= 3
+        total = sum(len(jobs) for jobs in routed.jobs_per_group.values())
+        assert total == 5
+
+    def test_largest_jobs_go_to_least_loaded_group(self):
+        group_sizes = {0: 2, 1: 2}
+        group_loads = {0: 5.0, 1: 0.0}
+        bags = [make_jobs((4.0, 0), (3.0, 0), (2.0, 0), (1.0, 0))]
+        routed = group_bag_lpt(group_sizes, group_loads, bags)
+        sizes_group1 = sorted(job.size for job in routed.jobs_per_group[1])
+        assert sizes_group1 == [3.0, 4.0]
+
+    def test_area_tracking(self):
+        group_sizes = {0: 2}
+        bags = [make_jobs((1.0, 0), (2.0, 0))]
+        routed = group_bag_lpt(group_sizes, {0: 0.0}, bags)
+        assert routed.area_per_group[0] == pytest.approx(3.0)
+
+    def test_bag_exceeding_total_capacity_rejected(self):
+        with pytest.raises(AlgorithmError):
+            group_bag_lpt({0: 1}, {0: 0.0}, [make_jobs((1.0, 0), (1.0, 0))])
+
+
+class TestSmallJobLptScheduler:
+    def test_feasible_on_random_instances(self):
+        for seed in range(3):
+            instance = uniform_random_instance(
+                num_jobs=24, num_machines=4, num_bags=8, seed=seed
+            ).instance
+            result = small_job_lpt_schedule(instance)
+            assert_feasible(result.schedule)

@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.bounds`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds import (
+    area_lower_bound,
+    bag_cardinality_lower_bound,
+    best_lower_bound,
+    combined_lower_bound,
+    lp_relaxation_lower_bound,
+    max_job_lower_bound,
+    pairwise_lower_bound,
+)
+from repro.core import Instance
+from repro.exact import brute_force_optimum
+from repro.generators import uniform_random_instance
+
+
+class TestIndividualBounds:
+    def test_area_bound(self, tiny_instance):
+        assert area_lower_bound(tiny_instance) == pytest.approx(4.0)
+
+    def test_max_job_bound(self, tiny_instance):
+        assert max_job_lower_bound(tiny_instance) == 3.0
+
+    def test_pairwise_bound_plain(self):
+        # 3 machines, 4 equal jobs: two of the top 4 must share a machine.
+        instance = Instance.without_bags([5, 5, 5, 5], num_machines=3)
+        assert pairwise_lower_bound(instance) == 10.0
+
+    def test_pairwise_bound_no_extra_jobs(self):
+        instance = Instance.without_bags([5, 5], num_machines=3)
+        assert pairwise_lower_bound(instance) == 0.0
+
+    def test_bag_cardinality_full_bag(self, full_bag_instance):
+        # bag 0 has m=3 jobs of size 2, extra jobs of size 1 exist.
+        assert bag_cardinality_lower_bound(full_bag_instance) == pytest.approx(3.0)
+
+    def test_bag_cardinality_infeasible_bag(self):
+        instance = Instance.from_sizes(
+            [1, 1, 1], bags=[0, 0, 0], num_machines=2, validate=False
+        )
+        assert bag_cardinality_lower_bound(instance) == float("inf")
+
+    def test_bag_cardinality_no_full_bags(self, singleton_bags_instance):
+        assert bag_cardinality_lower_bound(singleton_bags_instance) == 0.0
+
+
+class TestCombinedBounds:
+    def test_combined_is_max(self, tiny_instance):
+        combined = combined_lower_bound(tiny_instance)
+        assert combined == max(
+            area_lower_bound(tiny_instance),
+            max_job_lower_bound(tiny_instance),
+            pairwise_lower_bound(tiny_instance),
+            bag_cardinality_lower_bound(tiny_instance),
+        )
+
+    def test_report_structure(self, tiny_instance):
+        report = best_lower_bound(tiny_instance, use_lp=True)
+        data = report.to_dict()
+        assert data["best"] >= data["area"]
+        assert data["lp_relaxation"] is not None
+
+    def test_report_without_lp(self, tiny_instance):
+        report = best_lower_bound(tiny_instance)
+        assert report.lp_relaxation is None
+
+
+class TestSoundness:
+    """Every bound must be at most the true optimum."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounds_below_optimum_on_random_instances(self, seed):
+        instance = uniform_random_instance(
+            num_jobs=9, num_machines=3, num_bags=4, seed=seed
+        ).instance
+        optimum = brute_force_optimum(instance)
+        report = best_lower_bound(instance, use_lp=True)
+        assert report.best <= optimum + 1e-9
+        assert report.lp_relaxation <= optimum + 1e-6
+
+    def test_lp_bound_at_least_area_and_max(self, uniform_instance):
+        lp = lp_relaxation_lower_bound(uniform_instance)
+        assert lp >= area_lower_bound(uniform_instance) - 1e-6
+        assert lp >= max_job_lower_bound(uniform_instance) - 1e-6
+
+    def test_figure1_bound_is_tight(self, figure1_instance):
+        # The figure-1 family has optimum exactly 1.
+        assert combined_lower_bound(figure1_instance) == pytest.approx(1.0)

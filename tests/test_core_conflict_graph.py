@@ -1,0 +1,78 @@
+"""Unit tests for :mod:`repro.core.conflict_graph`."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core import (
+    Instance,
+    build_conflict_graph,
+    chromatic_number_lower_bound,
+    conflict_adjacency,
+    greedy_clique_coloring,
+    is_cluster_graph,
+    verify_coloring,
+)
+from repro.core.conflict_graph import color_classes, conflicting_pairs
+
+
+def test_adjacency_matches_networkx(uniform_instance):
+    adjacency = conflict_adjacency(uniform_instance)
+    graph = build_conflict_graph(uniform_instance)
+    assert set(adjacency) == set(graph.nodes)
+    for node, neighbours in adjacency.items():
+        assert set(graph.neighbors(node)) == neighbours
+
+
+def test_conflict_graph_is_cluster_graph(uniform_instance, replica_instance):
+    for instance in (uniform_instance, replica_instance):
+        assert is_cluster_graph(build_conflict_graph(instance))
+
+
+def test_non_cluster_graph_detected():
+    graph = nx.path_graph(3)  # P3 is the forbidden induced subgraph
+    assert not is_cluster_graph(graph)
+
+
+def test_singleton_bags_have_no_edges(singleton_bags_instance):
+    graph = build_conflict_graph(singleton_bags_instance)
+    assert graph.number_of_edges() == 0
+    assert conflict_adjacency(singleton_bags_instance) == {
+        job.id: set() for job in singleton_bags_instance.jobs
+    }
+
+
+def test_greedy_coloring_is_valid(uniform_instance):
+    coloring = greedy_clique_coloring(uniform_instance)
+    assert verify_coloring(uniform_instance, coloring)
+    assert len(coloring) == uniform_instance.num_jobs
+
+
+def test_coloring_uses_chromatic_number_colors(full_bag_instance):
+    coloring = greedy_clique_coloring(full_bag_instance)
+    used = len(set(coloring.values()))
+    assert used == chromatic_number_lower_bound(full_bag_instance) == 3
+
+
+def test_color_classes_partition(uniform_instance):
+    coloring = greedy_clique_coloring(uniform_instance)
+    classes = color_classes(coloring)
+    all_ids = sorted(job_id for ids in classes.values() for job_id in ids)
+    assert all_ids == sorted(coloring)
+
+
+def test_conflicting_pairs_count(tiny_instance):
+    pairs = list(conflicting_pairs(tiny_instance))
+    # Two bags of two jobs each -> one conflicting pair per bag.
+    assert len(pairs) == 2
+    assert all(tiny_instance.job(a).bag == tiny_instance.job(b).bag for a, b in pairs)
+
+
+def test_verify_coloring_rejects_bad_coloring(tiny_instance):
+    bad = {job.id: 0 for job in tiny_instance.jobs}
+    assert not verify_coloring(tiny_instance, bad)
+
+
+def test_chromatic_bound_empty():
+    instance = Instance([], 2, name="empty")
+    assert chromatic_number_lower_bound(instance) == 0

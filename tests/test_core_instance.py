@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.core.instance`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, InvalidInstanceError, Job
+
+
+class TestInstanceConstruction:
+    def test_from_sizes(self):
+        instance = Instance.from_sizes([1.0, 2.0, 3.0], bags=[0, 0, 1], num_machines=2)
+        assert instance.num_jobs == 3
+        assert instance.num_bags == 2
+        assert instance.num_machines == 2
+        assert instance.total_work == 6.0
+
+    def test_without_bags_creates_singletons(self):
+        instance = Instance.without_bags([1.0, 2.0, 3.0], num_machines=2)
+        assert instance.num_bags == 3
+        assert all(len(members) == 1 for members in instance.bags().values())
+
+    def test_duplicate_job_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([Job(id=0, size=1.0, bag=0), Job(id=0, size=2.0, bag=1)], 2)
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_sizes([1.0], bags=[0], num_machines=0)
+
+    def test_oversized_bag_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_sizes([1.0, 1.0, 1.0], bags=[0, 0, 0], num_machines=2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_sizes([1.0, 2.0], bags=[0], num_machines=1)
+
+
+class TestInstanceAccessors:
+    def test_job_lookup(self, tiny_instance):
+        assert tiny_instance.job(0).size == 3.0
+        assert 0 in tiny_instance
+        assert 99 not in tiny_instance
+        with pytest.raises(KeyError):
+            tiny_instance.job(99)
+
+    def test_sizes_vector_is_readonly(self, tiny_instance):
+        sizes = tiny_instance.sizes
+        assert sizes.tolist() == [3.0, 2.0, 2.0, 1.0]
+        with pytest.raises(ValueError):
+            sizes[0] = 5.0
+
+    def test_bag_views(self, tiny_instance):
+        assert [job.id for job in tiny_instance.bag(0)] == [0, 1]
+        assert tiny_instance.bag(42) == ()
+        assert tiny_instance.bag_sizes() == {0: 2, 1: 2}
+        assert tiny_instance.bag_of(2) == 1
+
+    def test_size_restricted_bag(self, tiny_instance):
+        assert [job.id for job in tiny_instance.size_restricted_bag(0, 2.0)] == [1]
+        assert tiny_instance.size_restricted_bag(0, 9.0) == ()
+
+    def test_distinct_sizes(self, tiny_instance):
+        assert tiny_instance.distinct_sizes() == (1.0, 2.0, 3.0)
+
+    def test_iteration_and_len(self, tiny_instance):
+        assert len(tiny_instance) == 4
+        assert [job.id for job in tiny_instance] == [0, 1, 2, 3]
+
+
+class TestInstanceDerived:
+    def test_scaled(self, tiny_instance):
+        scaled = tiny_instance.scaled(2.0)
+        assert scaled.total_work == pytest.approx(2 * tiny_instance.total_work)
+        assert scaled.num_machines == tiny_instance.num_machines
+        with pytest.raises(ValueError):
+            tiny_instance.scaled(0.0)
+
+    def test_with_machines(self, tiny_instance):
+        assert tiny_instance.with_machines(5).num_machines == 5
+
+    def test_subset(self, tiny_instance):
+        sub = tiny_instance.subset([0, 3])
+        assert sub.num_jobs == 2
+        assert {job.id for job in sub.jobs} == {0, 3}
+
+    def test_stats(self, tiny_instance):
+        stats = tiny_instance.stats()
+        assert stats.num_jobs == 4
+        assert stats.max_job_size == 3.0
+        assert stats.area_lower_bound == pytest.approx(4.0)
+        assert stats.max_bag_size == 2
+        assert isinstance(stats.to_dict(), dict)
+
+
+class TestInstanceSerialization:
+    def test_json_roundtrip(self, tiny_instance):
+        text = tiny_instance.to_json()
+        restored = Instance.from_json(text)
+        assert restored.num_jobs == tiny_instance.num_jobs
+        assert restored.num_machines == tiny_instance.num_machines
+        assert [j.size for j in restored.jobs] == [j.size for j in tiny_instance.jobs]
+
+    def test_file_roundtrip(self, tiny_instance, tmp_path):
+        path = tiny_instance.save(tmp_path / "instance.json")
+        restored = Instance.load(path)
+        assert restored.name == tiny_instance.name
+        assert restored.bag_sizes() == tiny_instance.bag_sizes()
+
+    def test_numpy_total_matches_python_sum(self, uniform_instance):
+        assert uniform_instance.total_work == pytest.approx(
+            sum(job.size for job in uniform_instance.jobs)
+        )
+        assert isinstance(uniform_instance.sizes, np.ndarray)

@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.core.result`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvalidScheduleError, Schedule, SolverResult, timed_solver_result
+
+
+def _complete_schedule(instance) -> Schedule:
+    schedule = Schedule(instance)
+    for index, job in enumerate(sorted(instance.jobs, key=lambda j: -j.size)):
+        # simple round robin that happens to be feasible for the tiny fixture
+        schedule.assign(job.id, index % instance.num_machines)
+    return schedule
+
+
+def test_timed_solver_result_validates(tiny_instance):
+    result = timed_solver_result("test", lambda: _complete_schedule(tiny_instance))
+    assert isinstance(result, SolverResult)
+    assert result.makespan == pytest.approx(result.schedule.makespan())
+    assert result.wall_time >= 0.0
+    assert result.solver == "test"
+    assert result.instance_name == "tiny"
+
+
+def test_timed_solver_result_rejects_infeasible(tiny_instance):
+    def broken() -> Schedule:
+        return Schedule(tiny_instance).assign_many([(0, 0), (1, 0), (2, 1), (3, 1)])
+
+    with pytest.raises(InvalidScheduleError):
+        timed_solver_result("broken", broken)
+    # validation can be disabled explicitly (used by internal stages)
+    result = timed_solver_result("broken", broken, validate=False)
+    assert result.makespan > 0
+
+
+def test_ratio_to(tiny_instance):
+    result = timed_solver_result("test", lambda: _complete_schedule(tiny_instance))
+    assert result.ratio_to(result.makespan) == pytest.approx(1.0)
+    assert result.ratio_to(result.makespan / 2) == pytest.approx(2.0)
+    assert result.ratio_to(0.0) == float("inf")
+
+
+def test_to_dict_contains_params_and_diagnostics(tiny_instance):
+    result = timed_solver_result(
+        "test",
+        lambda: _complete_schedule(tiny_instance),
+        params={"eps": 0.5},
+        diagnostics={"iterations": 3},
+        optimal=True,
+    )
+    data = result.to_dict()
+    assert data["params"] == {"eps": 0.5}
+    assert data["diagnostics"] == {"iterations": 3}
+    assert data["optimal"] is True
+    assert data["solver"] == "test"

@@ -1,0 +1,126 @@
+"""Unit tests for :mod:`repro.core.schedule`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, InvalidScheduleError, Schedule
+
+
+class TestScheduleBasics:
+    def test_empty_schedule(self, tiny_instance):
+        schedule = Schedule(tiny_instance)
+        assert schedule.makespan() == 0.0
+        assert schedule.num_assigned == 0
+        assert not schedule.is_complete
+
+    def test_assignment_and_loads(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (2, 0), (1, 1), (3, 1)])
+        assert schedule.is_complete
+        assert schedule.loads().tolist() == [5.0, 3.0]
+        assert schedule.makespan() == 5.0
+        assert schedule.load(1) == 3.0
+        assert schedule.machine_of(0) == 0
+        assert schedule.machine_of(99) is None
+
+    def test_machine_jobs_and_bags(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (2, 0)])
+        assert {job.id for job in schedule.jobs_on(0)} == {0, 2}
+        assert schedule.bags_on(0) == {0, 1}
+
+    def test_assign_unknown_job_rejected(self, tiny_instance):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(tiny_instance).assign(99, 0)
+
+    def test_assign_invalid_machine_rejected(self, tiny_instance):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(tiny_instance).assign(0, 5)
+
+    def test_unassign(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign(0, 0)
+        schedule.unassign(0)
+        assert 0 not in schedule
+        schedule.unassign(0)  # idempotent
+
+    def test_copy_is_independent(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign(0, 0)
+        copy = schedule.copy().assign(1, 1)
+        assert 1 not in schedule
+        assert 1 in copy
+
+    def test_from_machine_lists(self, tiny_instance):
+        schedule = Schedule.from_machine_lists(tiny_instance, [[0, 2], [1, 3]])
+        assert schedule.makespan() == 5.0
+
+
+class TestConflicts:
+    def test_conflict_detection(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (1, 0)])
+        conflicts = schedule.conflicts()
+        assert len(conflicts) == 1
+        assert conflicts[0].bag == 0
+        assert conflicts[0].machine == 0
+        assert not schedule.is_conflict_free()
+        assert schedule.num_conflicts() == 1
+
+    def test_conflict_free(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (1, 1), (2, 0), (3, 1)])
+        assert schedule.is_conflict_free()
+        assert schedule.conflicts() == []
+
+    def test_triple_conflict_counts_pairs(self):
+        instance = Instance.from_sizes([1, 1, 1], bags=[0, 0, 0], num_machines=3)
+        schedule = Schedule(instance).assign_many([(0, 0), (1, 0), (2, 0)])
+        assert schedule.num_conflicts() == 2  # anchored at the smallest id
+
+    def test_swap(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (1, 0), (2, 1), (3, 1)])
+        assert not schedule.is_conflict_free()
+        schedule.swap(1, 2)
+        assert schedule.is_conflict_free()
+        with pytest.raises(InvalidScheduleError):
+            schedule.swap(1, 99)
+
+
+class TestValidation:
+    def test_validate_complete_feasible(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (1, 1), (2, 0), (3, 1)])
+        schedule.validate()  # must not raise
+
+    def test_validate_missing_job(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign(0, 0)
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate()
+        schedule.validate(require_complete=False)
+
+    def test_validate_conflict(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (1, 0), (2, 1), (3, 1)])
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate()
+
+    def test_validation_report_summary(self, tiny_instance):
+        good = Schedule(tiny_instance).assign_many([(0, 0), (1, 1), (2, 0), (3, 1)])
+        assert good.validation_report().summary() == "feasible"
+        bad = Schedule(tiny_instance).assign_many([(0, 0), (1, 0)])
+        summary = bad.validation_report().summary()
+        assert "infeasible" in summary and "conflict" in summary
+
+
+class TestScheduleTransfer:
+    def test_reassigned_to_instance_drops_missing(self, tiny_instance):
+        other = tiny_instance.subset([0, 1])
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (1, 1), (2, 0), (3, 1)])
+        moved = schedule.reassigned_to_instance(other)
+        assert set(moved.assignment) == {0, 1}
+
+    def test_serialization_roundtrip(self, tiny_instance):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (1, 1), (2, 0), (3, 1)])
+        data = schedule.to_dict()
+        restored = Schedule.from_dict(tiny_instance, data)
+        assert restored.assignment == schedule.assignment
+        assert data["makespan"] == pytest.approx(schedule.makespan())
+
+    def test_save(self, tiny_instance, tmp_path):
+        schedule = Schedule(tiny_instance).assign_many([(0, 0), (1, 1), (2, 0), (3, 1)])
+        path = schedule.save(tmp_path / "sched.json")
+        assert path.exists()

@@ -1,0 +1,103 @@
+"""Edge-case tests for the EPTAS: degenerate instances and special structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance
+from repro.eptas import EptasConfig, eptas_schedule
+from repro.exact import brute_force_optimum
+
+from conftest import assert_feasible
+
+
+class TestDegenerateShapes:
+    def test_all_jobs_identical(self):
+        instance = Instance.from_sizes(
+            [1.0] * 12, bags=list(range(12)), num_machines=4, name="identical"
+        )
+        result = eptas_schedule(instance, eps=0.5)
+        assert_feasible(result.schedule)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_one_full_bag_only(self):
+        # A single bag with exactly m jobs: one job per machine, optimum = max size.
+        instance = Instance.from_sizes(
+            [3.0, 2.0, 1.0, 0.5], bags=[0, 0, 0, 0], num_machines=4, name="one-bag"
+        )
+        result = eptas_schedule(instance, eps=0.5)
+        assert_feasible(result.schedule)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_only_large_jobs(self):
+        instance = Instance.from_sizes(
+            [0.9, 0.8, 0.7, 0.9, 0.8, 0.7], bags=[0, 1, 2, 3, 4, 5], num_machines=3
+        )
+        result = eptas_schedule(instance, eps=0.25)
+        assert_feasible(result.schedule)
+        optimum = brute_force_optimum(instance)
+        assert result.makespan <= (1 + 2 * 0.25 + 0.25**2) * optimum + 1e-9
+
+    def test_only_tiny_jobs(self):
+        sizes = [0.01 + 0.001 * i for i in range(30)]
+        instance = Instance.from_sizes(
+            sizes, bags=[i % 10 for i in range(30)], num_machines=3
+        )
+        result = eptas_schedule(instance, eps=0.5)
+        assert_feasible(result.schedule)
+        # Everything is small: group-bag-LPT should get very close to the area bound.
+        area = instance.total_work / instance.num_machines
+        assert result.makespan <= 1.5 * area + max(sizes)
+
+    def test_more_machines_than_jobs(self):
+        instance = Instance.from_sizes([2.0, 1.0], bags=[0, 1], num_machines=6)
+        result = eptas_schedule(instance, eps=0.5)
+        assert_feasible(result.schedule)
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_huge_size_spread(self):
+        instance = Instance.from_sizes(
+            [100.0, 0.001, 0.002, 50.0, 0.003, 25.0],
+            bags=[0, 0, 1, 1, 2, 2],
+            num_machines=3,
+        )
+        result = eptas_schedule(instance, eps=0.5)
+        assert_feasible(result.schedule)
+        assert result.makespan == pytest.approx(100.0, rel=1e-3)
+
+    def test_duplicate_bag_structure_many_machines(self):
+        # 3 bags x m jobs each: every machine gets one job of each bag.
+        machines = 5
+        sizes = []
+        bags = []
+        for bag in range(3):
+            for _ in range(machines):
+                sizes.append(0.4 + 0.1 * bag)
+                bags.append(bag)
+        instance = Instance.from_sizes(sizes, bags, num_machines=machines)
+        result = eptas_schedule(instance, eps=0.25)
+        assert_feasible(result.schedule)
+        assert result.makespan == pytest.approx(0.4 + 0.5 + 0.6)
+
+
+class TestConfigEdgeCases:
+    def test_eps_exactly_one(self):
+        instance = Instance.from_sizes(
+            [1.0, 0.5, 0.25, 0.75], bags=[0, 1, 2, 3], num_machines=2
+        )
+        result = eptas_schedule(instance, eps=1.0)
+        assert_feasible(result.schedule)
+
+    def test_very_small_eps_on_tiny_instance(self):
+        instance = Instance.from_sizes([1.0, 1.0], bags=[0, 1], num_machines=2)
+        result = eptas_schedule(instance, eps=0.125, config=EptasConfig(eps=0.125, max_patterns=10_000))
+        assert_feasible(result.schedule)
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_zero_search_iterations_falls_back_to_greedy(self):
+        instance = Instance.from_sizes(
+            [1.0, 0.7, 0.5, 0.3], bags=[0, 1, 2, 3], num_machines=2
+        )
+        config = EptasConfig(eps=0.5, max_search_iterations=0)
+        result = eptas_schedule(instance, eps=0.5, config=config)
+        assert_feasible(result.schedule)

@@ -1,0 +1,124 @@
+"""Unit tests for the configuration MILP (Section 3, constraints (1)-(9))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import lpt_schedule
+from repro.core import Instance
+from repro.eptas import (
+    EptasConfig,
+    build_configuration_milp,
+    classify_bags,
+    classify_jobs,
+    collect_entry_types,
+    enumerate_patterns,
+    scale_and_round,
+    transform_instance,
+    solve_configuration_milp,
+)
+from repro.generators import figure1_adversarial_instance, uniform_random_instance
+from repro.milp import SolutionStatus
+
+
+def _prepare(instance: Instance, eps: float = 0.25, guess: float | None = None, cap: int = 3):
+    """Run the pipeline up to the MILP construction for a makespan guess."""
+    config = EptasConfig(eps=eps, practical_priority_cap=cap).normalised()
+    if guess is None:
+        guess = lpt_schedule(instance).makespan
+    rounded = scale_and_round(instance, config.eps, guess)
+    working = rounded.instance
+    job_classes = classify_jobs(working, config.eps)
+    bag_classes = classify_bags(
+        working, job_classes, practical_priority_cap=config.practical_priority_cap
+    )
+    record = transform_instance(working, job_classes, bag_classes)
+    transformed_jobs = classify_jobs(record.transformed, config.eps, k=job_classes.k)
+    constants = bag_classes.constants
+    entry_types = collect_entry_types(record.transformed, transformed_jobs, bag_classes)
+    patterns = enumerate_patterns(
+        entry_types,
+        budget=constants.budget,
+        max_slots=constants.q,
+        max_patterns=config.max_patterns,
+    )
+    model = build_configuration_milp(
+        record.transformed, transformed_jobs, bag_classes, constants, patterns, config=config
+    )
+    return config, record, transformed_jobs, bag_classes, constants, patterns, model
+
+
+class TestModelStructure:
+    def test_variable_and_constraint_counts(self):
+        instance = figure1_adversarial_instance(num_machines=4).instance
+        *_, patterns, model = _prepare(instance, guess=1.0)
+        summary = model.summary()
+        assert summary["num_patterns"] == len(patterns)
+        # one x per pattern plus the created y variables
+        assert summary["variables"] >= len(patterns)
+        assert summary["integer_variables"] >= len(patterns)
+        assert summary["constraints"] >= len(patterns)  # at least the area constraints
+
+    def test_y_variables_only_where_room_and_no_bag_clash(self):
+        instance = uniform_random_instance(
+            num_jobs=18, num_machines=4, num_bags=6, seed=3
+        ).instance
+        _, record, transformed_jobs, bag_classes, constants, patterns, model = _prepare(instance)
+        for (pattern_index, bag, size), name in model.y_name.items():
+            pattern = patterns.patterns[pattern_index]
+            assert size <= constants.budget - pattern.height + 1e-9
+            if bag in bag_classes.priority:
+                assert not pattern.uses_bag(bag)
+
+    def test_feasible_when_guess_is_achievable(self):
+        generated = figure1_adversarial_instance(num_machines=4)
+        config, *_, model = _prepare(generated.instance, guess=1.0)
+        solution = solve_configuration_milp(model, config=config)
+        assert solution.feasible
+        assert solution.status in (SolutionStatus.OPTIMAL, SolutionStatus.FEASIBLE)
+        # constraint (1): at most m machines used
+        assert sum(solution.pattern_machines.values()) <= 4
+
+    def test_infeasible_when_guess_is_too_small(self):
+        generated = figure1_adversarial_instance(num_machines=4)
+        # Guess far below the optimum of 1.0: even the 2.25x budget cannot fit
+        # the full bag of small jobs plus the large jobs.
+        config, *_, model = _prepare(generated.instance, guess=0.3)
+        solution = solve_configuration_milp(model, config=config)
+        assert not solution.feasible
+
+    def test_small_assignment_respects_constraint5(self):
+        instance = uniform_random_instance(
+            num_jobs=20, num_machines=4, num_bags=7, seed=1
+        ).instance
+        config, record, transformed_jobs, bag_classes, constants, patterns, model = _prepare(
+            instance
+        )
+        solution = solve_configuration_milp(model, config=config)
+        assert solution.feasible
+        # aggregate per (pattern, bag): sum_s y <= x_p
+        per_pattern_bag: dict[tuple[int, int], float] = {}
+        for (pattern_index, bag, _size), value in solution.small_assignment.items():
+            per_pattern_bag[(pattern_index, bag)] = (
+                per_pattern_bag.get((pattern_index, bag), 0.0) + value
+            )
+        for (pattern_index, bag), total in per_pattern_bag.items():
+            machines = solution.pattern_machines.get(pattern_index, 0)
+            assert total <= machines + 1e-6
+
+    def test_coverage_constraints_cover_all_jobs(self):
+        instance = uniform_random_instance(
+            num_jobs=20, num_machines=4, num_bags=7, seed=2
+        ).instance
+        config, record, transformed_jobs, bag_classes, constants, patterns, model = _prepare(
+            instance
+        )
+        solution = solve_configuration_milp(model, config=config)
+        assert solution.feasible
+        # every small job is covered by y variables (constraint (3))
+        covered: dict[tuple[int, float], float] = {}
+        for (pattern_index, bag, size), value in solution.small_assignment.items():
+            covered[(bag, size)] = covered.get((bag, size), 0.0) + value
+        for small_class in model.small_classes:
+            total = covered.get((small_class.bag, small_class.size), 0.0)
+            assert total >= small_class.count - 1e-6

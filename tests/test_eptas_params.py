@@ -1,0 +1,104 @@
+"""Unit tests for the EPTAS parameters and derived constants (Lemma 6 inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eptas import (
+    ConstantsMode,
+    EptasConfig,
+    derive_constants,
+    normalise_eps,
+    theory_constants_report,
+)
+
+
+class TestNormaliseEps:
+    def test_reciprocal_becomes_integral(self):
+        for eps in (1.0, 0.5, 0.25, 0.2, 0.125):
+            normalised = normalise_eps(eps)
+            assert normalised == pytest.approx(eps)
+            assert (1.0 / normalised) == pytest.approx(round(1.0 / normalised))
+
+    def test_non_reciprocal_rounds_down(self):
+        normalised = normalise_eps(0.3)
+        assert normalised <= 0.3
+        assert 1.0 / normalised == pytest.approx(4.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            normalise_eps(0.0)
+        with pytest.raises(ValueError):
+            normalise_eps(1.5)
+        with pytest.raises(ValueError):
+            normalise_eps(-0.1)
+
+
+class TestDerivedConstants:
+    def test_budget_formula(self):
+        constants = derive_constants(0.5, 1)
+        assert constants.budget == pytest.approx(1 + 2 * 0.5 + 0.25)
+
+    def test_q_counts_medium_or_large_slots(self):
+        constants = derive_constants(0.5, 1)
+        # medium threshold = eps^{k+1} = 0.25, budget = 2.25 -> q = 9
+        assert constants.q == 9
+
+    def test_b_prime_formula_in_theory_mode(self):
+        constants = derive_constants(0.5, 1, num_large_sizes=2, mode=ConstantsMode.THEORY)
+        assert constants.theory_priority_bags_per_size == (2 * constants.q + 1) * constants.q
+        assert constants.priority_bags_per_size == constants.theory_priority_bags_per_size
+
+    def test_practical_mode_caps_b_prime(self):
+        constants = derive_constants(
+            0.25, 2, mode=ConstantsMode.PRACTICAL, practical_priority_cap=4
+        )
+        assert constants.priority_bags_per_size == 4
+        assert constants.theory_priority_bags_per_size > 4
+
+    def test_practical_cap_never_exceeds_theory(self):
+        constants = derive_constants(
+            1.0, 1, num_large_sizes=1, num_medium_sizes=1,
+            mode=ConstantsMode.PRACTICAL, practical_priority_cap=10_000,
+        )
+        assert constants.priority_bags_per_size <= constants.theory_priority_bags_per_size
+
+    def test_thresholds(self):
+        constants = derive_constants(0.25, 2)
+        assert constants.large_threshold == pytest.approx(0.25**2)
+        assert constants.medium_threshold == pytest.approx(0.25**3)
+        assert constants.small_integral_threshold == pytest.approx(0.25**15)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            derive_constants(0.5, 0)
+
+    def test_to_dict(self):
+        data = derive_constants(0.5, 1).to_dict()
+        assert data["q"] == 9
+        assert set(data) >= {"eps", "k", "budget", "priority_bags_per_size"}
+
+
+class TestTheoryReport:
+    def test_monotone_blowup(self):
+        small = theory_constants_report(0.5)["k=worst"]
+        smaller = theory_constants_report(0.25)["k=worst"]
+        assert smaller["b_prime"] > small["b_prime"]
+        assert smaller["log10_pattern_bound"] > small["log10_pattern_bound"]
+
+    def test_contains_both_k_entries(self):
+        report = theory_constants_report(0.5)
+        assert "k=1" in report and "k=worst" in report
+
+
+class TestEptasConfig:
+    def test_normalised(self):
+        config = EptasConfig(eps=0.3).normalised()
+        assert 1.0 / config.eps == pytest.approx(4.0)
+
+    def test_to_dict_round_trip_fields(self):
+        config = EptasConfig(eps=0.5, max_patterns=123)
+        data = config.to_dict()
+        assert data["eps"] == 0.5
+        assert data["max_patterns"] == 123
+        assert data["mode"] == "practical"

@@ -1,0 +1,114 @@
+"""Unit tests for pattern (configuration) enumeration (Definition 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance
+from repro.core.errors import SolverLimitError
+from repro.eptas import (
+    classify_bags,
+    classify_jobs,
+    collect_entry_types,
+    enumerate_patterns,
+)
+from repro.eptas.patterns import WILDCARD_BAG, PatternEntry
+
+
+def _entry(size: float, bag: int) -> PatternEntry:
+    return PatternEntry(size=size, bag=bag)
+
+
+class TestEnumeration:
+    def test_empty_pattern_always_present(self):
+        patterns = enumerate_patterns([], budget=1.0, max_slots=3)
+        assert len(patterns) == 1
+        assert patterns.patterns[0].entries == ()
+        assert patterns.patterns[0].height == 0.0
+
+    def test_budget_respected(self):
+        entries = [(_entry(0.6, 0), 3), (_entry(0.5, 1), 3)]
+        patterns = enumerate_patterns(entries, budget=1.0, max_slots=5)
+        for pattern in patterns.patterns:
+            assert pattern.height <= 1.0 + 1e-9
+        # 0.6 + 0.5 > 1.0, so no pattern holds both
+        assert not any(
+            pattern.uses_bag(0) and pattern.uses_bag(1) for pattern in patterns.patterns
+        )
+
+    def test_at_most_one_slot_per_priority_bag(self):
+        entries = [(_entry(0.3, 0), 5), (_entry(0.2, 0), 5), (_entry(0.25, 1), 5)]
+        patterns = enumerate_patterns(entries, budget=2.0, max_slots=6)
+        for pattern in patterns.patterns:
+            slots_bag0 = sum(
+                count
+                for entry, count in pattern.entries
+                if entry.bag == 0
+            )
+            assert slots_bag0 <= 1
+
+    def test_wildcard_multiplicity_up_to_availability(self):
+        entries = [(_entry(0.3, WILDCARD_BAG), 2)]
+        patterns = enumerate_patterns(entries, budget=2.0, max_slots=10)
+        max_count = max(
+            (pattern.count_of(_entry(0.3, WILDCARD_BAG)) for pattern in patterns.patterns),
+            default=0,
+        )
+        assert max_count == 2  # bounded by availability, not by the budget
+
+    def test_wildcard_bounded_by_max_slots(self):
+        entries = [(_entry(0.1, WILDCARD_BAG), 50)]
+        patterns = enumerate_patterns(entries, budget=10.0, max_slots=4)
+        for pattern in patterns.patterns:
+            assert pattern.num_slots <= 4
+
+    def test_max_patterns_limit(self):
+        entries = [(_entry(0.05, bag), 1) for bag in range(20)]
+        with pytest.raises(SolverLimitError):
+            enumerate_patterns(entries, budget=5.0, max_slots=20, max_patterns=100)
+
+    def test_pattern_helpers(self):
+        entries = [(_entry(0.5, 3), 1), (_entry(0.4, WILDCARD_BAG), 2)]
+        patterns = enumerate_patterns(entries, budget=2.0, max_slots=4)
+        full = max(patterns.patterns, key=lambda p: p.num_slots)
+        assert full.uses_bag(3)
+        assert not full.uses_bag(99)
+        assert full.wildcard_slots() == {0.4: 2}
+        assert full.priority_slots() == {(3, 0.5): 1}
+        assert "B^0.5_3" in full.label()
+        summary = patterns.summary()
+        assert summary["num_patterns"] == len(patterns)
+
+
+class TestCollectEntryTypes:
+    def test_priority_and_wildcard_split(self):
+        # bag 0 priority with one large job, bags 1..3 non-priority with large jobs
+        sizes = [0.5, 0.5, 0.5, 0.5, 0.02]
+        bags = [0, 1, 2, 3, 0]
+        instance = Instance.from_sizes(sizes, bags, num_machines=4)
+        job_classes = classify_jobs(instance, 0.5, k=1)
+        bag_classes = classify_bags(instance, job_classes, practical_priority_cap=1)
+        entry_types = collect_entry_types(instance, job_classes, bag_classes)
+        wildcard = [(e, c) for e, c in entry_types if e.is_wildcard]
+        priority = [(e, c) for e, c in entry_types if not e.is_wildcard]
+        assert len(priority) == 1
+        assert priority[0][1] == 1
+        assert len(wildcard) == 1
+        assert wildcard[0][1] == 3  # three non-priority large jobs of size 0.5
+
+    def test_small_jobs_ignored(self):
+        instance = Instance.from_sizes([0.5, 0.01, 0.02], bags=[0, 0, 1], num_machines=2)
+        job_classes = classify_jobs(instance, 0.5, k=1)
+        bag_classes = classify_bags(instance, job_classes, practical_priority_cap=2)
+        entry_types = collect_entry_types(instance, job_classes, bag_classes)
+        assert all(entry.size >= 0.25 for entry, _ in entry_types)
+
+    def test_entries_sorted_large_first(self):
+        instance = Instance.from_sizes(
+            [0.3, 0.6, 0.9], bags=[0, 1, 2], num_machines=3
+        )
+        job_classes = classify_jobs(instance, 0.5, k=1)
+        bag_classes = classify_bags(instance, job_classes, practical_priority_cap=5)
+        entry_types = collect_entry_types(instance, job_classes, bag_classes)
+        sizes = [entry.size for entry, _ in entry_types]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,217 @@
+"""Unit tests for large-job placement, small-job placement and conflict repair
+(Lemmas 7-11 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import lpt_schedule
+from repro.core import Instance, Schedule
+from repro.eptas import (
+    EptasConfig,
+    build_configuration_milp,
+    classify_bags,
+    classify_jobs,
+    collect_entry_types,
+    enumerate_patterns,
+    place_large_and_medium,
+    place_small_jobs,
+    resolve_conflicts,
+    scale_and_round,
+    solve_configuration_milp,
+    transform_instance,
+)
+from repro.generators import figure1_adversarial_instance, uniform_random_instance
+
+
+def _full_pipeline(instance: Instance, eps: float = 0.25, guess: float | None = None):
+    """Run the EPTAS pipeline up to (and including) small-job placement."""
+    config = EptasConfig(eps=eps).normalised()
+    if guess is None:
+        guess = lpt_schedule(instance).makespan
+    rounded = scale_and_round(instance, config.eps, guess)
+    working = rounded.instance
+    job_classes = classify_jobs(working, config.eps)
+    bag_classes = classify_bags(
+        working, job_classes, practical_priority_cap=config.practical_priority_cap
+    )
+    record = transform_instance(working, job_classes, bag_classes)
+    transformed_jobs = classify_jobs(record.transformed, config.eps, k=job_classes.k)
+    constants = bag_classes.constants
+    entry_types = collect_entry_types(record.transformed, transformed_jobs, bag_classes)
+    patterns = enumerate_patterns(
+        entry_types,
+        budget=constants.budget,
+        max_slots=constants.q,
+        max_patterns=config.max_patterns,
+    )
+    model = build_configuration_milp(
+        record.transformed, transformed_jobs, bag_classes, constants, patterns, config=config
+    )
+    solution = solve_configuration_milp(model, config=config)
+    assert solution.feasible
+    placement = place_large_and_medium(
+        record.transformed, transformed_jobs, bag_classes, patterns, solution
+    )
+    return (
+        config,
+        record,
+        transformed_jobs,
+        bag_classes,
+        constants,
+        patterns,
+        solution,
+        placement,
+    )
+
+
+class TestLargeJobPlacement:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_heavy_job_placed_without_conflicts(self, seed):
+        instance = uniform_random_instance(
+            num_jobs=20, num_machines=4, num_bags=7, seed=seed
+        ).instance
+        (_, record, transformed_jobs, *_rest, placement) = _full_pipeline(instance)
+        schedule = placement.schedule
+        for job in record.transformed.jobs:
+            if job.id in transformed_jobs.medium_or_large:
+                assert job.id in schedule, f"heavy job {job.id} unplaced"
+        assert schedule.is_conflict_free()
+
+    def test_machine_count_respected(self):
+        instance = figure1_adversarial_instance(num_machines=4).instance
+        (*_unused, placement) = _full_pipeline(instance, guess=1.0)
+        assert len(placement.machine_pattern) == 4
+
+    def test_origin_recorded_for_priority_jobs(self):
+        instance = uniform_random_instance(
+            num_jobs=20, num_machines=4, num_bags=7, seed=5
+        ).instance
+        (_, record, transformed_jobs, bag_classes, *_rest, placement) = _full_pipeline(instance)
+        for job_id, machine in placement.origin.items():
+            job = record.transformed.job(job_id)
+            assert job.bag in bag_classes.priority
+            assert 0 <= machine < record.transformed.num_machines
+
+    def test_loads_do_not_exceed_budget_after_large_placement(self):
+        instance = figure1_adversarial_instance(num_machines=6).instance
+        (config, record, *_rest, placement) = _full_pipeline(instance, guess=1.0)
+        budget = 1 + 2 * config.eps + config.eps**2
+        assert placement.schedule.makespan() <= budget + 1e-9
+
+
+class TestSmallJobPlacement:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_jobs_placed_and_feasible(self, seed):
+        instance = uniform_random_instance(
+            num_jobs=22, num_machines=4, num_bags=8, seed=seed
+        ).instance
+        (
+            config,
+            record,
+            transformed_jobs,
+            bag_classes,
+            constants,
+            patterns,
+            solution,
+            placement,
+        ) = _full_pipeline(instance)
+        diagnostics = place_small_jobs(
+            record.transformed,
+            transformed_jobs,
+            bag_classes,
+            constants,
+            patterns,
+            solution,
+            placement,
+        )
+        schedule = placement.schedule
+        assert schedule.is_complete
+        resolve_conflicts(record.transformed, schedule, transformed_jobs, placement.origin)
+        schedule.validate(require_complete=True)
+        counters = diagnostics.to_dict()
+        placed = (
+            counters["non_priority_jobs"]
+            + counters["priority_full_jobs"]
+            + counters["priority_slot_jobs"]
+            + counters["priority_fallback_jobs"]
+        )
+        assert placed == len(transformed_jobs.small)
+
+    def test_small_placement_keeps_makespan_reasonable(self):
+        generated = figure1_adversarial_instance(num_machines=6)
+        instance = generated.instance
+        (
+            config,
+            record,
+            transformed_jobs,
+            bag_classes,
+            constants,
+            patterns,
+            solution,
+            placement,
+        ) = _full_pipeline(instance, guess=1.0)
+        place_small_jobs(
+            record.transformed,
+            transformed_jobs,
+            bag_classes,
+            constants,
+            patterns,
+            solution,
+            placement,
+        )
+        resolve_conflicts(
+            record.transformed, placement.schedule, transformed_jobs, placement.origin
+        )
+        # Guess = OPT = 1; the constructed schedule stays within the paper's
+        # (1 + O(eps)) budget around the guess.
+        budget = 1 + 2 * config.eps + config.eps**2
+        assert placement.schedule.makespan() <= budget + constants.medium_threshold + 0.3
+
+
+class TestRepair:
+    def test_repair_fixes_artificial_conflicts(self):
+        """Directly exercise Lemma-11 repair on a hand-built conflicted schedule."""
+        # bag 0: one large and one small job; bag 1/2: filler-ish independent jobs
+        instance = Instance.from_sizes(
+            [0.6, 0.1, 0.55, 0.5, 0.1], bags=[0, 0, 1, 2, 3], num_machines=3
+        )
+        job_classes = classify_jobs(instance, 0.5, k=1)
+        schedule = Schedule(instance, allow_partial=True)
+        # Machine 0 gets both bag-0 jobs -> conflict.
+        schedule.assign_many([(0, 0), (1, 0), (2, 1), (3, 2), (4, 1)])
+        assert not schedule.is_conflict_free()
+        origin = {0: 2}  # the MILP "origin" of the large job is machine 2
+        diagnostics = resolve_conflicts(instance, schedule, job_classes, origin)
+        assert schedule.is_conflict_free()
+        assert diagnostics.conflicts_found >= 1
+
+    def test_repair_uses_origin_chain_when_free(self):
+        instance = Instance.from_sizes(
+            [0.6, 0.1, 0.4], bags=[0, 0, 1], num_machines=3
+        )
+        job_classes = classify_jobs(instance, 0.5, k=1)
+        schedule = Schedule(instance, allow_partial=True)
+        schedule.assign_many([(0, 0), (1, 0), (2, 1)])
+        origin = {0: 2}  # machine 2 is free of bag 0
+        diagnostics = resolve_conflicts(instance, schedule, job_classes, origin)
+        assert diagnostics.resolved_by_origin_chain == 1
+        assert schedule.machine_of(1) == 2
+
+    def test_repair_falls_back_without_origin(self):
+        instance = Instance.from_sizes(
+            [0.6, 0.1, 0.4], bags=[0, 0, 1], num_machines=2
+        )
+        job_classes = classify_jobs(instance, 0.5, k=1)
+        schedule = Schedule(instance, allow_partial=True)
+        schedule.assign_many([(0, 0), (1, 0), (2, 1)])
+        diagnostics = resolve_conflicts(instance, schedule, job_classes, origin={})
+        assert schedule.is_conflict_free()
+        assert diagnostics.resolved_by_fallback == 1
+
+    def test_repair_noop_on_feasible_schedule(self):
+        instance = Instance.from_sizes([0.6, 0.1], bags=[0, 0], num_machines=2)
+        job_classes = classify_jobs(instance, 0.5, k=1)
+        schedule = Schedule(instance).assign_many([(0, 0), (1, 1)])
+        diagnostics = resolve_conflicts(instance, schedule, job_classes, origin={})
+        assert diagnostics.conflicts_found == 0

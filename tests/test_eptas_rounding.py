@@ -1,0 +1,71 @@
+"""Unit tests for scaling and geometric rounding (Section 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Instance
+from repro.eptas import round_instance, round_up_to_power, scale_and_round
+
+
+class TestRoundUpToPower:
+    def test_result_is_power_of_one_plus_eps(self):
+        eps = 0.25
+        for size in (0.013, 0.2, 0.77, 1.0, 3.5, 11.0):
+            rounded = round_up_to_power(size, eps)
+            exponent = math.log(rounded, 1 + eps)
+            assert abs(exponent - round(exponent)) < 1e-6
+
+    def test_never_smaller_and_within_factor(self):
+        eps = 0.5
+        for size in (0.01, 0.5, 0.9, 1.0, 7.3):
+            rounded = round_up_to_power(size, eps)
+            assert rounded >= size - 1e-12
+            assert rounded <= size * (1 + eps) + 1e-12
+
+    def test_exact_powers_stay_fixed(self):
+        eps = 0.5
+        for exponent in (-3, -1, 0, 2, 5):
+            value = (1 + eps) ** exponent
+            assert round_up_to_power(value, eps) == pytest.approx(value)
+
+    def test_zero_stays_zero(self):
+        assert round_up_to_power(0.0, 0.25) == 0.0
+
+
+class TestRoundInstance:
+    def test_all_sizes_rounded(self, uniform_instance):
+        eps = 0.25
+        rounded = round_instance(uniform_instance, eps)
+        assert rounded.num_jobs == uniform_instance.num_jobs
+        for original, new in zip(uniform_instance.jobs, rounded.jobs):
+            assert new.id == original.id
+            assert new.bag == original.bag
+            assert original.size <= new.size <= original.size * (1 + eps) + 1e-12
+
+    def test_total_work_bounded(self, uniform_instance):
+        eps = 0.5
+        rounded = round_instance(uniform_instance, eps)
+        assert rounded.total_work <= (1 + eps) * uniform_instance.total_work + 1e-9
+
+
+class TestScaleAndRound:
+    def test_scaling_normalises_guess(self, uniform_instance):
+        guess = 3.7
+        result = scale_and_round(uniform_instance, 0.25, guess)
+        assert result.scale == pytest.approx(1 / guess)
+        # Converting a makespan back recovers the original units.
+        assert result.to_original_makespan(1.0) == pytest.approx(guess)
+
+    def test_assignment_transfer_makespan(self):
+        instance = Instance.from_sizes([2.0, 1.0], bags=[0, 1], num_machines=2)
+        result = scale_and_round(instance, 0.5, 2.0)
+        # job sizes become 1.0 and 0.5 -> rounded to powers of 1.5: 1.0, 0.5->? 0.5 is not a power of 1.5
+        for original, scaled in zip(instance.jobs, result.instance.jobs):
+            assert scaled.size >= original.size / 2.0 - 1e-12
+
+    def test_invalid_guess_rejected(self, uniform_instance):
+        with pytest.raises(ValueError):
+            scale_and_round(uniform_instance, 0.25, 0.0)

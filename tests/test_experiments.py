@@ -1,0 +1,94 @@
+"""Tests for the experiment harness (tables and a fast subset of drivers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentTable,
+    experiment_e1_figure1_placement,
+    experiment_e5_transformation_overhead,
+    experiment_e7_milp_size,
+    experiment_e9_fault_tolerance,
+    run_experiment,
+)
+
+
+class TestExperimentTable:
+    def test_add_rows_and_columns(self):
+        table = ExperimentTable("T", "test table")
+        table.add_row({"a": 1, "b": 2.5})
+        table.add_row({"a": 3, "c": "x"})
+        assert table.columns == ["a", "b", "c"]
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2.5, None]
+
+    def test_text_rendering(self):
+        table = ExperimentTable("T", "test table")
+        table.add_row({"name": "row1", "value": 1.23456})
+        table.add_note("a note")
+        text = table.to_text()
+        assert "T: test table" in text
+        assert "row1" in text
+        assert "note: a note" in text
+
+    def test_markdown_and_csv(self, tmp_path):
+        table = ExperimentTable("T", "test table")
+        table.add_row({"a": 1, "b": True})
+        markdown = table.to_markdown()
+        assert "| a | b |" in markdown
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "a,b"
+        path = table.save_csv(tmp_path / "t.csv")
+        assert path.read_text().startswith("a,b")
+
+    def test_to_dict(self):
+        table = ExperimentTable("T", "test")
+        table.add_row({"a": 1})
+        data = table.to_dict()
+        assert data["experiment_id"] == "T"
+        assert data["rows"] == [{"a": 1}]
+
+
+class TestRegistry:
+    def test_all_ten_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+        assert len(EXPERIMENTS) == 10
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_run_experiment_is_case_insensitive(self):
+        table = run_experiment("e7", quick=True)
+        assert table.experiment_id == "E7"
+
+
+class TestFastDrivers:
+    """Run the cheap drivers end-to-end (the slow ones run in benchmarks/)."""
+
+    def test_e1_shape(self):
+        table = experiment_e1_figure1_placement(quick=True)
+        assert len(table.rows) >= 2
+        for row in table.rows:
+            assert row["first_fit"] > row["optimum"]
+            assert row["eptas(0.25)"] <= row["optimum"] + 1e-9
+
+    def test_e5_within_lemma2_bound(self):
+        table = experiment_e5_transformation_overhead(quick=True)
+        assert all(row["within_bound"] for row in table.rows)
+
+    def test_e7_theory_blowup_and_practical_feasibility(self):
+        table = experiment_e7_milp_size(quick=True)
+        bprimes = [row["theory_b_prime"] for row in table.rows]
+        assert bprimes == sorted(bprimes)
+        assert all(row["milp_feasible"] for row in table.rows)
+
+    def test_e9_survivability_dominance(self):
+        table = experiment_e9_fault_tolerance(quick=True)
+        for row in table.rows:
+            assert (
+                row["survivability_with_bags"]
+                >= row["survivability_without_bags"] - 1e-9
+            )

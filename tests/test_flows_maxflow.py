@@ -1,0 +1,113 @@
+"""Unit tests for the Dinic max-flow substrate, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.flows import FlowNetwork, max_flow
+
+
+class TestBasicFlows:
+    def test_single_edge(self):
+        result = max_flow([("s", "t", 7)], "s", "t")
+        assert result.value == 7
+        assert result.flow_on("s", "t") == 7
+
+    def test_two_paths(self):
+        result = max_flow(
+            [("s", "a", 3), ("a", "t", 2), ("s", "b", 1), ("b", "t", 5)], "s", "t"
+        )
+        assert result.value == 3
+
+    def test_bottleneck(self):
+        result = max_flow(
+            [("s", "a", 10), ("a", "b", 1), ("b", "t", 10)], "s", "t"
+        )
+        assert result.value == 1
+
+    def test_disconnected(self):
+        result = max_flow([("s", "a", 4), ("b", "t", 4)], "s", "t")
+        assert result.value == 0
+        assert result.edge_flows == {}
+
+    def test_parallel_edges_aggregate(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 2)
+        network.add_edge("s", "t", 3)
+        result = network.max_flow("s", "t")
+        assert result.value == 5
+        assert result.flow_on("s", "t") == 5
+
+    def test_mapping_input(self):
+        result = max_flow({("s", "a"): 2, ("a", "t"): 2}, "s", "t")
+        assert result.value == 2
+
+
+class TestValidationErrors:
+    def test_negative_capacity_rejected(self):
+        network = FlowNetwork()
+        with pytest.raises(ValueError):
+            network.add_edge("a", "b", -1)
+
+    def test_non_integral_capacity_rejected(self):
+        network = FlowNetwork()
+        with pytest.raises(ValueError):
+            network.add_edge("a", "b", 1.5)
+
+    def test_unknown_source_rejected(self):
+        network = FlowNetwork()
+        network.add_edge("a", "b", 1)
+        with pytest.raises(KeyError):
+            network.max_flow("missing", "b")
+
+    def test_same_source_sink_rejected(self):
+        network = FlowNetwork()
+        network.add_edge("a", "b", 1)
+        with pytest.raises(ValueError):
+            network.max_flow("a", "a")
+
+
+class TestConservationAndCrossCheck:
+    def _random_network(self, seed: int) -> tuple[list[tuple[int, int, int]], int, int]:
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(5, 12))
+        edges = []
+        for u in range(num_nodes):
+            for v in range(num_nodes):
+                if u != v and rng.random() < 0.3:
+                    edges.append((u, v, int(rng.integers(1, 10))))
+        return edges, 0, num_nodes - 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_against_networkx(self, seed):
+        edges, source, sink = self._random_network(seed)
+        graph = nx.DiGraph()
+        graph.add_node(source)
+        graph.add_node(sink)
+        for u, v, capacity in edges:
+            if graph.has_edge(u, v):
+                graph[u][v]["capacity"] += capacity
+            else:
+                graph.add_edge(u, v, capacity=capacity)
+        expected = nx.maximum_flow_value(graph, source, sink) if graph.number_of_edges() else 0
+        result = max_flow(edges, source, sink)
+        assert result.value == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_conservation(self, seed):
+        edges, source, sink = self._random_network(seed + 100)
+        network = FlowNetwork()
+        network.add_node(source)
+        network.add_node(sink)
+        for u, v, capacity in edges:
+            network.add_edge(u, v, capacity)
+        result = network.max_flow(source, sink)
+        assert network.check_conservation(result, source, sink)
+        # Flows never exceed capacities.
+        capacity_total: dict[tuple[int, int], int] = {}
+        for u, v, capacity in edges:
+            capacity_total[(u, v)] = capacity_total.get((u, v), 0) + capacity
+        for (u, v), amount in result.edge_flows.items():
+            assert 0 < amount <= capacity_total[(u, v)]

@@ -1,0 +1,140 @@
+"""Unit tests for the instance generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exact import brute_force_optimum
+from repro.generators import (
+    FAMILIES,
+    bag_heavy_instance,
+    clustered_sizes_instance,
+    figure1_adversarial_instance,
+    generate,
+    planted_optimum_instance,
+    replica_workload_instance,
+    two_size_instance,
+    uniform_random_instance,
+)
+
+
+class TestGeneratorBasics:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_produces_valid_instances(self, family):
+        generated = generate(family, seed=1)
+        instance = generated.instance
+        instance.validate()
+        assert instance.num_jobs > 0
+        assert all(job.size >= 0 for job in instance.jobs)
+        # No bag may exceed the machine count (validated above, but assert
+        # explicitly because the generators must guarantee it by design).
+        assert max(instance.bag_sizes().values()) <= instance.num_machines
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            generate("no-such-family")
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_determinism(self, family):
+        a = generate(family, seed=42).instance
+        b = generate(family, seed=42).instance
+        assert [(j.id, j.size, j.bag) for j in a.jobs] == [
+            (j.id, j.size, j.bag) for j in b.jobs
+        ]
+
+    def test_different_seeds_differ(self):
+        a = uniform_random_instance(seed=1).instance
+        b = uniform_random_instance(seed=2).instance
+        assert [j.size for j in a.jobs] != [j.size for j in b.jobs]
+
+
+class TestUniformRandom:
+    def test_shape_parameters(self):
+        generated = uniform_random_instance(
+            num_jobs=30, num_machines=5, num_bags=6, size_range=(0.2, 0.4), seed=0
+        )
+        instance = generated.instance
+        assert instance.num_jobs == 30
+        assert instance.num_machines == 5
+        assert instance.num_bags <= 6
+        assert all(0.2 <= job.size <= 0.4 for job in instance.jobs)
+
+    def test_too_many_jobs_for_bags_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_random_instance(num_jobs=20, num_machines=2, num_bags=3)
+
+
+class TestClusteredSizes:
+    def test_sizes_from_palette(self):
+        generated = clustered_sizes_instance(
+            num_jobs=20, size_values=(0.5, 0.25), seed=3
+        )
+        assert set(job.size for job in generated.instance.jobs) <= {0.5, 0.25}
+
+    def test_weights(self):
+        generated = clustered_sizes_instance(
+            num_jobs=50, size_values=(1.0, 0.1), weights=(0.0, 1.0), seed=3
+        )
+        assert set(job.size for job in generated.instance.jobs) == {0.1}
+
+
+class TestKnownOptimumFamilies:
+    def test_figure1_optimum(self):
+        generated = figure1_adversarial_instance(num_machines=4, seed=0)
+        assert generated.known_optimum == 1.0
+        assert brute_force_optimum(generated.instance) == pytest.approx(1.0)
+
+    def test_figure1_structure(self):
+        generated = figure1_adversarial_instance(num_machines=5, large_size=0.6)
+        instance = generated.instance
+        # one full bag of small jobs plus singleton large-job bags
+        sizes = instance.bag_sizes()
+        assert sizes[0] == 5
+        assert all(sizes[b] == 1 for b in sizes if b != 0)
+        assert {round(j.size, 6) for j in instance.jobs} == {0.6, 0.4}
+
+    def test_figure1_invalid_large_size(self):
+        with pytest.raises(ValueError):
+            figure1_adversarial_instance(large_size=1.5)
+
+    def test_two_size_optimum(self):
+        generated = two_size_instance(num_machines=4, seed=0)
+        assert generated.known_optimum == pytest.approx(1.0)
+        assert brute_force_optimum(generated.instance) == pytest.approx(1.0)
+
+    def test_planted_optimum_is_achievable(self):
+        generated = planted_optimum_instance(
+            num_machines=3, jobs_per_machine_range=(2, 3), seed=5
+        )
+        optimum = brute_force_optimum(generated.instance)
+        assert optimum <= generated.optimum_upper_bound + 1e-9
+        # All machines are filled to exactly the target, so the area bound
+        # makes the planted value optimal.
+        assert optimum == pytest.approx(generated.known_optimum)
+
+    def test_planted_total_work(self):
+        generated = planted_optimum_instance(num_machines=6, target_load=2.0, seed=1)
+        assert generated.instance.total_work == pytest.approx(12.0, rel=1e-4)
+
+
+class TestDomainFamilies:
+    def test_replicas_bags_are_services(self):
+        generated = replica_workload_instance(num_services=5, num_machines=4, seed=2)
+        instance = generated.instance
+        assert instance.num_bags <= 5
+        for bag, members in instance.bags().items():
+            services = {job.meta.get("service") for job in members}
+            assert services == {bag}
+
+    def test_replicas_homogeneous_sizes(self):
+        generated = replica_workload_instance(
+            num_services=4, num_machines=4, heterogeneous_replicas=False, seed=2
+        )
+        for _, members in generated.instance.bags().items():
+            assert len({job.size for job in members}) == 1
+
+    def test_bag_heavy_full_bags(self):
+        generated = bag_heavy_instance(num_machines=5, num_full_bags=3, extra_jobs=4, seed=1)
+        sizes = generated.instance.bag_sizes()
+        full = [bag for bag, count in sizes.items() if count == 5]
+        assert len(full) == 3

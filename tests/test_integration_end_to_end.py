@@ -1,0 +1,93 @@
+"""End-to-end integration tests: every solver on every family, cross-checked."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    coloring_schedule,
+    das_wiese_schedule,
+    greedy_schedule,
+    lpt_schedule,
+)
+from repro.bounds import best_lower_bound
+from repro.eptas import eptas_schedule
+from repro.exact import exact_milp_schedule
+from repro.generators import FAMILIES, generate
+from repro.simulation import ClusterSimulator
+
+from conftest import assert_feasible
+
+ALL_SOLVERS = {
+    "greedy": lambda inst: greedy_schedule(inst),
+    "lpt": lambda inst: lpt_schedule(inst),
+    "coloring": lambda inst: coloring_schedule(inst),
+    "eptas": lambda inst: eptas_schedule(inst, eps=0.5),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("solver_name", sorted(ALL_SOLVERS))
+def test_every_solver_feasible_on_every_family(family, solver_name):
+    generated = generate(family, seed=3)
+    instance = generated.instance
+    result = ALL_SOLVERS[solver_name](instance)
+    assert_feasible(result.schedule)
+    bounds = best_lower_bound(instance)
+    assert result.makespan >= bounds.best - 1e-9
+    if generated.known_optimum is not None:
+        assert result.makespan >= generated.known_optimum - 1e-9
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_solver_ordering_on_random_instances(seed):
+    """Exact <= EPTAS <= its guarantee; all feasible; ratios consistent."""
+    generated = generate("uniform", num_jobs=14, num_machines=4, num_bags=6, seed=seed)
+    instance = generated.instance
+    optimum = exact_milp_schedule(instance).makespan
+    eps = 0.5
+    eptas = eptas_schedule(instance, eps=eps)
+    lpt = lpt_schedule(instance)
+    greedy = greedy_schedule(instance)
+    assert optimum <= eptas.makespan + 1e-9
+    assert eptas.makespan <= (1 + 2 * eps + eps**2) * optimum + 1e-9
+    assert eptas.makespan <= max(lpt.makespan, greedy.makespan) + 1e-9
+
+
+def test_das_wiese_and_eptas_agree_on_small_instances():
+    generated = generate("uniform", num_jobs=12, num_machines=3, num_bags=5, seed=9)
+    instance = generated.instance
+    optimum = exact_milp_schedule(instance).makespan
+    dw = das_wiese_schedule(instance, eps=0.25)
+    ep = eptas_schedule(instance, eps=0.25)
+    assert dw.makespan <= 2 * optimum + 1e-9
+    assert ep.makespan <= 2 * optimum + 1e-9
+
+
+def test_schedule_feeds_simulator_end_to_end():
+    generated = generate("replicas", num_services=8, num_machines=5, seed=4)
+    instance = generated.instance
+    result = eptas_schedule(instance, eps=0.25)
+    simulator = ClusterSimulator(instance, result.schedule)
+    report = simulator.run()
+    # no failures: everything completes and the realised makespan matches
+    assert report.num_failed == 0
+    assert report.num_completed == instance.num_jobs
+    assert report.makespan == pytest.approx(result.makespan)
+    # one failure: bag-constrained schedules never lose a whole multi-replica service
+    failure_report = simulator.run_with_random_failures(num_failures=1, seed=1)
+    multi_replica_bags = sum(1 for members in instance.bags().values() if len(members) > 1)
+    if multi_replica_bags:
+        assert failure_report.bags_fully_lost <= instance.num_bags - multi_replica_bags
+
+
+def test_instance_roundtrip_through_disk_and_solvers(tmp_path):
+    generated = generate("clustered", num_jobs=18, num_machines=4, num_bags=6, seed=2)
+    instance = generated.instance
+    path = instance.save(tmp_path / "instance.json")
+    from repro.core import Instance
+
+    loaded = Instance.load(path)
+    original_result = lpt_schedule(instance)
+    loaded_result = lpt_schedule(loaded)
+    assert original_result.makespan == pytest.approx(loaded_result.makespan)

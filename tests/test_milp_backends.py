@@ -1,0 +1,124 @@
+"""Tests for the HiGHS backend and the own branch-and-bound solver.
+
+The two backends are cross-checked against each other on random MILPs — this
+is the "own substrate validates the external oracle" test from DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.milp import (
+    BranchAndBoundConfig,
+    LinearModel,
+    SolutionStatus,
+    solve_lp_relaxation,
+    solve_model,
+    solve_with_branch_and_bound,
+    solve_with_scipy,
+)
+
+
+def _knapsack_model(values, weights, capacity) -> LinearModel:
+    model = LinearModel("knapsack")
+    for index, value in enumerate(values):
+        # Minimise the negated value = maximise value.
+        model.add_variable(f"x_{index}", integer=True, upper=1.0, objective=-float(value))
+    model.add_le(
+        "capacity",
+        {f"x_{index}": float(weight) for index, weight in enumerate(weights)},
+        float(capacity),
+    )
+    return model
+
+
+class TestScipyBackend:
+    def test_simple_integer_program(self):
+        model = LinearModel()
+        model.add_variable("x", integer=True, objective=1.0)
+        model.add_ge("c", {"x": 1.0}, 2.5)
+        solution = solve_with_scipy(model)
+        assert solution.status is SolutionStatus.OPTIMAL
+        assert solution.value("x") == pytest.approx(3.0)
+
+    def test_infeasible_detected(self):
+        model = LinearModel()
+        model.add_variable("x", upper=1.0)
+        model.add_ge("c", {"x": 1.0}, 2.0)
+        solution = solve_with_scipy(model)
+        assert solution.status is SolutionStatus.INFEASIBLE
+        assert not solution.is_feasible
+
+    def test_empty_model(self):
+        assert solve_with_scipy(LinearModel()).status is SolutionStatus.OPTIMAL
+
+    def test_lp_relaxation_relaxes_integrality(self):
+        model = LinearModel()
+        model.add_variable("x", integer=True, objective=1.0)
+        model.add_ge("c", {"x": 1.0}, 2.5)
+        relaxed = solve_lp_relaxation(model)
+        assert relaxed.value("x") == pytest.approx(2.5)
+
+    def test_lp_relaxation_with_branching_overrides(self):
+        model = LinearModel()
+        model.add_variable("x", integer=True, objective=1.0)
+        model.add_ge("c", {"x": 1.0}, 2.5)
+        compiled = model.compile()
+        forced_up = solve_lp_relaxation(compiled, extra_lower={0: 3.0})
+        assert forced_up.value("x") == pytest.approx(3.0)
+        forced_down = solve_lp_relaxation(compiled, extra_upper={0: 2.0})
+        assert forced_down.status is SolutionStatus.INFEASIBLE
+
+
+class TestBranchAndBound:
+    def test_matches_scipy_on_knapsack(self):
+        model = _knapsack_model([6, 5, 4], [4, 3, 2], 5)
+        ours = solve_with_branch_and_bound(model)
+        scipys = solve_with_scipy(model)
+        assert ours.status is SolutionStatus.OPTIMAL
+        assert ours.objective == pytest.approx(scipys.objective)
+
+    def test_infeasible(self):
+        model = LinearModel()
+        model.add_variable("x", integer=True, upper=1.0)
+        model.add_ge("c", {"x": 1.0}, 2.0)
+        assert solve_with_branch_and_bound(model).status is SolutionStatus.INFEASIBLE
+
+    def test_node_limit(self):
+        model = _knapsack_model(list(range(1, 12)), list(range(1, 12)), 20)
+        config = BranchAndBoundConfig(max_nodes=1)
+        solution = solve_with_branch_and_bound(model, config)
+        assert solution.status in (SolutionStatus.LIMIT, SolutionStatus.FEASIBLE, SolutionStatus.OPTIMAL)
+
+    def test_diagnostics_reported(self):
+        model = _knapsack_model([3, 2, 2], [2, 1, 1], 2)
+        solution = solve_with_branch_and_bound(model)
+        assert solution.diagnostics["backend"] == "own-branch-and-bound"
+        assert solution.diagnostics["lp_solves"] >= 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cross_check_random_knapsacks(self, seed):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(4, 9))
+        values = rng.integers(1, 20, size=size).tolist()
+        weights = rng.integers(1, 10, size=size).tolist()
+        capacity = int(sum(weights) * 0.4) + 1
+        model = _knapsack_model(values, weights, capacity)
+        ours = solve_with_branch_and_bound(model)
+        scipys = solve_with_scipy(model)
+        assert ours.objective == pytest.approx(scipys.objective, abs=1e-6)
+
+
+class TestSolveModelDispatch:
+    def test_backend_names(self):
+        model = LinearModel()
+        model.add_variable("x", integer=True, objective=1.0)
+        model.add_ge("c", {"x": 1.0}, 1.5)
+        assert solve_model(model, backend="scipy").value("x") == pytest.approx(2.0)
+        assert solve_model(model, backend="bnb").value("x") == pytest.approx(2.0)
+        assert solve_model(model, backend="lp").value("x") == pytest.approx(1.5)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve_model(LinearModel(), backend="gurobi")

@@ -1,0 +1,112 @@
+"""Unit tests for the MILP model builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InfeasibleModelError
+from repro.milp import LinearModel, MilpSolution, Sense, SolutionStatus
+
+
+class TestModelConstruction:
+    def test_variables(self):
+        model = LinearModel("m")
+        model.add_variable("x", lower=1.0, upper=4.0, integer=True, objective=2.0)
+        model.add_variable("y")
+        assert model.num_variables == 2
+        assert model.num_integer_variables == 1
+        assert model.variables["x"].is_integer
+        assert not model.variables["y"].is_integer
+
+    def test_duplicate_variable_rejected(self):
+        model = LinearModel()
+        model.add_variable("x")
+        with pytest.raises(ValueError):
+            model.add_variable("x")
+
+    def test_constraint_with_unknown_variable_rejected(self):
+        model = LinearModel()
+        model.add_variable("x")
+        with pytest.raises(KeyError):
+            model.add_le("c", {"z": 1.0}, 1.0)
+
+    def test_duplicate_constraint_rejected(self):
+        model = LinearModel()
+        model.add_variable("x")
+        model.add_le("c", {"x": 1.0}, 1.0)
+        with pytest.raises(ValueError):
+            model.add_ge("c", {"x": 1.0}, 0.0)
+
+    def test_zero_coefficients_dropped(self):
+        model = LinearModel()
+        model.add_variable("x")
+        model.add_variable("y")
+        constraint = model.add_le("c", {"x": 1.0, "y": 0.0}, 1.0)
+        assert "y" not in constraint.coefficients
+
+    def test_set_objective_coefficient(self):
+        model = LinearModel()
+        model.add_variable("x", objective=1.0)
+        model.set_objective_coefficient("x", 5.0)
+        assert model.variables["x"].objective == 5.0
+
+    def test_summary(self):
+        model = LinearModel()
+        model.add_variable("x", integer=True)
+        model.add_variable("y")
+        model.add_le("c", {"x": 1, "y": 1}, 2)
+        assert model.summary() == {
+            "variables": 2,
+            "integer_variables": 1,
+            "continuous_variables": 1,
+            "constraints": 1,
+        }
+
+
+class TestCompilation:
+    def test_compile_shapes(self):
+        model = LinearModel()
+        model.add_variable("x", integer=True, objective=1.0)
+        model.add_variable("y", upper=3.0)
+        model.add_le("c1", {"x": 2.0, "y": 1.0}, 10.0)
+        model.add_ge("c2", {"x": 1.0}, 1.0)
+        model.add_eq("c3", {"y": 1.0}, 2.0)
+        compiled = model.compile()
+        assert compiled.num_variables == 2
+        assert compiled.num_integer_variables == 1
+        assert compiled.a_ub.shape == (2, 2)  # LE + negated GE
+        assert compiled.a_eq.shape == (1, 2)
+        assert compiled.num_constraints == 3
+        # GE constraints are negated into <= form.
+        assert compiled.b_ub.tolist() == [10.0, -1.0]
+
+    def test_check_solution(self):
+        model = LinearModel()
+        model.add_variable("x", integer=True, upper=5.0)
+        model.add_ge("c", {"x": 1.0}, 2.0)
+        assert model.check_solution({"x": 3.0}) == []
+        violations = model.check_solution({"x": 0.5})
+        assert any("not integral" in v for v in violations)
+        assert any("c:" in v for v in violations)
+        assert model.check_solution({"x": 7.0})  # above upper bound
+
+
+class TestMilpSolution:
+    def test_integral_values(self):
+        solution = MilpSolution(
+            status=SolutionStatus.OPTIMAL, objective=1.0, values={"x": 2.0000000001}
+        )
+        assert solution.integral_values() == {"x": 2}
+        assert solution.is_feasible
+
+    def test_integral_values_rejects_fractional(self):
+        solution = MilpSolution(
+            status=SolutionStatus.OPTIMAL, objective=1.0, values={"x": 2.5}
+        )
+        with pytest.raises(InfeasibleModelError):
+            solution.integral_values()
+
+    def test_value_default(self):
+        solution = MilpSolution(status=SolutionStatus.OPTIMAL, objective=0.0, values={})
+        assert solution.value("missing") == 0.0
+        assert solution.value("missing", 3.0) == 3.0

@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import lpt_schedule
+from repro.core import Instance, Schedule
+from repro.simulation import ClusterSimulator, MachineFailure, simulate_schedule
+
+
+@pytest.fixture
+def small_schedule():
+    instance = Instance.from_sizes(
+        [3.0, 2.0, 2.0, 1.0], bags=[0, 1, 0, 1], num_machines=2, name="sim"
+    )
+    schedule = Schedule(instance).assign_many([(0, 0), (3, 0), (1, 1), (2, 1)])
+    return instance, schedule
+
+
+class TestNoFailures:
+    def test_everything_completes(self, small_schedule):
+        instance, schedule = small_schedule
+        report = simulate_schedule(instance, schedule)
+        assert report.num_completed == 4
+        assert report.num_failed == 0
+        assert report.makespan == pytest.approx(schedule.makespan())
+        assert report.bags_fully_completed == instance.num_bags
+        assert report.survivability() == 1.0
+
+    def test_busy_time_equals_loads(self, small_schedule):
+        instance, schedule = small_schedule
+        report = simulate_schedule(instance, schedule)
+        loads = schedule.loads()
+        for machine, busy in report.machine_busy_time.items():
+            assert busy == pytest.approx(loads[machine])
+        assert 0.0 < report.utilisation() <= 1.0
+
+    def test_infeasible_schedule_rejected(self, small_schedule):
+        instance, _ = small_schedule
+        bad = Schedule(instance).assign_many([(0, 0), (2, 0), (1, 1), (3, 1)])
+        with pytest.raises(Exception):
+            ClusterSimulator(instance, bad)
+
+
+class TestFailures:
+    def test_failure_at_time_zero_loses_whole_machine(self, small_schedule):
+        instance, schedule = small_schedule
+        report = simulate_schedule(instance, schedule, [MachineFailure(machine=0, time=0.0)])
+        lost = {job_id for job_id in report.failed_jobs}
+        assert lost == {0, 3}
+        assert report.num_completed == 2
+
+    def test_failure_mid_run_keeps_finished_jobs(self, small_schedule):
+        instance, schedule = small_schedule
+        # Machine 0 runs job 0 (size 3) first, then job 3 (size 1).
+        report = simulate_schedule(instance, schedule, [MachineFailure(machine=0, time=3.5)])
+        assert 0 in report.completed_jobs
+        assert 3 in report.failed_jobs
+
+    def test_failure_after_makespan_changes_nothing(self, small_schedule):
+        instance, schedule = small_schedule
+        report = simulate_schedule(instance, schedule, [MachineFailure(machine=0, time=100.0)])
+        assert report.num_failed == 0
+
+    def test_survivability_counts_partial_bags(self, small_schedule):
+        instance, schedule = small_schedule
+        report = simulate_schedule(instance, schedule, [MachineFailure(machine=0, time=0.0)])
+        # bag 0 lost job 0 but kept job 2; bag 1 lost job 3 but kept job 1.
+        assert report.bags_partially_completed == 2
+        assert report.bags_fully_lost == 0
+        assert report.survivability() == 1.0
+
+    def test_random_failures_deterministic_given_seed(self):
+        instance = Instance.from_sizes(
+            [1.0] * 8, bags=list(range(8)), num_machines=4, name="det"
+        )
+        schedule = lpt_schedule(instance).schedule
+        simulator = ClusterSimulator(instance, schedule)
+        a = simulator.run_with_random_failures(num_failures=2, seed=5)
+        b = simulator.run_with_random_failures(num_failures=2, seed=5)
+        assert a.failed_jobs == b.failed_jobs
+        assert a.to_dict() == b.to_dict()
+
+    def test_bag_separation_limits_damage(self):
+        # Two replicas per service on distinct machines: one failure can
+        # never wipe out a service.
+        instance = Instance.from_sizes(
+            [1.0, 1.0, 2.0, 2.0], bags=[0, 0, 1, 1], num_machines=2, name="replicated"
+        )
+        schedule = Schedule(instance).assign_many([(0, 0), (1, 1), (2, 0), (3, 1)])
+        report = simulate_schedule(instance, schedule, [MachineFailure(machine=0, time=0.0)])
+        assert report.bags_fully_lost == 0
+
+    def test_report_serialisation(self, small_schedule):
+        instance, schedule = small_schedule
+        report = simulate_schedule(instance, schedule)
+        data = report.to_dict()
+        assert data["completed"] == 4
+        assert data["survivability"] == 1.0
