@@ -7,6 +7,7 @@ Commands
 ``compare``    run several solvers on one instance and print a comparison table
 ``experiments``run the DESIGN.md experiments (E1…E10) and print their tables
 ``constants``  print the paper's derived constants / Lemma-6 sizes for an eps
+``orch``       persistent parallel experiment orchestration (run/status/reset/export)
 """
 
 from __future__ import annotations
@@ -86,6 +87,94 @@ def build_parser() -> argparse.ArgumentParser:
 
     constants = sub.add_parser("constants", help="print derived constants for an eps")
     constants.add_argument("--eps", type=float, default=0.25)
+
+    orch = sub.add_parser(
+        "orch", help="persistent parallel experiment orchestration (SQLite-backed)"
+    )
+    orch_sub = orch.add_subparsers(dest="orch_command", required=True)
+
+    def _add_db(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--db",
+            type=Path,
+            default=None,
+            help="store path (default: $REPRO_ORCH_DB or ./orchestration.db)",
+        )
+
+    orch_run = orch_sub.add_parser(
+        "run", help="expand grids into the store and drain them with workers"
+    )
+    orch_run.add_argument(
+        "experiments", nargs="+", help="experiment names (e1…e10, smoke)"
+    )
+    _add_db(orch_run)
+    orch_run.add_argument("--workers", type=int, default=2, help="worker processes")
+    orch_run.add_argument("--seed", type=int, default=0)
+    mode = orch_run.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", help="quick grids (default)")
+    mode.add_argument("--full", action="store_true", help="full (slow) grids")
+    orch_run.add_argument(
+        "--stale-after",
+        type=float,
+        default=600.0,
+        help="reclaim 'running' rows older than this many seconds (0 = all)",
+    )
+    orch_run.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent result cache"
+    )
+    orch_run.add_argument(
+        "--no-populate",
+        action="store_true",
+        help="only drain rows already in the store (skip grid expansion)",
+    )
+
+    orch_status = orch_sub.add_parser("status", help="per-experiment status counts")
+    _add_db(orch_status)
+
+    orch_reset = orch_sub.add_parser(
+        "reset", help="move rows back to 'pending' (results cleared, cache kept)"
+    )
+    orch_reset.add_argument("experiments", nargs="*", help="restrict to these experiments")
+    _add_db(orch_reset)
+    orch_reset.add_argument(
+        "--status",
+        nargs="+",
+        choices=["pending", "running", "done", "error"],
+        default=None,
+        help="which statuses to touch (reset default: running error; "
+        "--delete default: all)",
+    )
+    orch_reset.add_argument(
+        "--clear-cache", action="store_true", help="also drop cached solver results"
+    )
+    orch_reset.add_argument(
+        "--delete", action="store_true", help="delete the grid rows entirely instead"
+    )
+
+    orch_export = orch_sub.add_parser(
+        "export", help="render completed rows as tables"
+    )
+    orch_export.add_argument(
+        "experiments", nargs="*", help="experiment names (default: all in store)"
+    )
+    _add_db(orch_export)
+    orch_export.add_argument(
+        "--format",
+        choices=["text", "markdown", "csv", "latex"],
+        default="text",
+        dest="fmt",
+    )
+    orch_export.add_argument(
+        "--full",
+        action="store_true",
+        help="export the full-variant grid (must match the run invocation)",
+    )
+    orch_export.add_argument(
+        "--seed", type=int, default=0, help="grid seed (must match the run invocation)"
+    )
+    orch_export.add_argument(
+        "--output-dir", "-o", type=Path, default=None, help="also write files here"
+    )
 
     return parser
 
@@ -178,6 +267,159 @@ def _cmd_constants(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Orchestration subcommands
+# ----------------------------------------------------------------------
+def _orch_db_path(args: argparse.Namespace) -> Path:
+    import os
+
+    if args.db is not None:
+        return args.db
+    return Path(os.environ.get("REPRO_ORCH_DB", "orchestration.db"))
+
+
+def _resolve_spec_names(experiments: list[str]) -> list[str]:
+    """Map user-typed names to registry names, exiting cleanly on unknowns."""
+    from .orchestration import registry
+
+    try:
+        return [registry.get_spec(name).name for name in experiments]
+    except KeyError as exc:
+        # The KeyError message lists the available experiment names.
+        raise SystemExit(f"error: {exc.args[0]}") from exc
+
+
+def _cmd_orch_run(args: argparse.Namespace) -> int:
+    from .orchestration import registry, run_pool
+
+    names = _resolve_spec_names(args.experiments)
+    if args.workers > 1:
+        timed = [name for name in names if registry.get_spec(name).timing_sensitive]
+        if timed:
+            print(
+                f"warning: {', '.join(sorted(timed))} measure wall-clock time inside "
+                "cells; concurrent workers inflate those columns — use --workers 1 "
+                "for clean timings",
+                file=sys.stderr,
+            )
+    report = run_pool(
+        _orch_db_path(args),
+        names,
+        workers=args.workers,
+        quick=not args.full,
+        seed=args.seed,
+        do_populate=not args.no_populate,
+        stale_after=args.stale_after,
+        use_cache=not args.no_cache,
+    )
+    print(
+        f"populated {report.populated} new rows, reclaimed {report.reclaimed} stale rows"
+    )
+    print(
+        f"workers={report.workers} claimed={report.claimed} done={report.done} "
+        f"errors={report.errors}"
+    )
+    print(f"wall_time_s={report.wall_time:.3f}")
+    return 1 if report.errors else 0
+
+
+def _cmd_orch_status(args: argparse.Namespace) -> int:
+    from .orchestration import ExperimentStore
+
+    with ExperimentStore(_orch_db_path(args)) as store:
+        counts = store.status_counts()
+        cache = store.cache_stats()
+    table = ExperimentTable("orch", f"store status ({_orch_db_path(args)})")
+    for experiment in sorted(counts):
+        per_status = counts[experiment]
+        table.add_row(
+            {
+                "experiment": experiment,
+                "pending": per_status.get("pending", 0),
+                "running": per_status.get("running", 0),
+                "done": per_status.get("done", 0),
+                "error": per_status.get("error", 0),
+            }
+        )
+    table.add_note(f"cache: {cache['entries']} entries, {cache['hits']} hits")
+    print(table.to_text())
+    return 0
+
+
+def _cmd_orch_reset(args: argparse.Namespace) -> int:
+    from .orchestration import ExperimentStore
+
+    with ExperimentStore(_orch_db_path(args)) as store:
+        # Best-effort lowercase so `reset E1` matches stored spec names; rows
+        # for experiments no longer in the registry stay addressable too.
+        experiments = [name.lower() for name in args.experiments] or None
+        if args.delete:
+            count = store.delete_rows(experiments, statuses=args.status)
+            print(f"deleted {count} rows")
+        else:
+            count = store.reset(experiments, statuses=args.status or ["running", "error"])
+            print(f"reset {count} rows to pending")
+        if args.clear_cache:
+            print(f"cleared {store.clear_cache()} cache entries")
+    return 0
+
+
+def _cmd_orch_export(args: argparse.Namespace) -> int:
+    from .orchestration import ExperimentStore, registry
+    from .orchestration.export import export_experiment
+
+    with ExperimentStore(_orch_db_path(args)) as store:
+        in_store = store.experiments()
+        names = args.experiments or in_store
+        if not names:
+            print("store is empty; run `repro orch run` first", file=sys.stderr)
+            return 1
+        code = 0
+        for name in names:
+            try:
+                spec_name = registry.get_spec(name).name
+            except KeyError:
+                # e.g. rows written by an older code version whose spec is
+                # gone from the registry: skip, but keep exporting the rest.
+                print(
+                    f"warning: {name!r} is not a registered experiment; skipping",
+                    file=sys.stderr,
+                )
+                code = 1
+                continue
+            if spec_name not in in_store:
+                print(
+                    f"warning: no rows for {name!r} in this store; skipping",
+                    file=sys.stderr,
+                )
+                code = 1
+                continue
+            print(
+                export_experiment(
+                    store,
+                    spec_name,
+                    args.fmt,
+                    quick=not args.full,
+                    seed=args.seed,
+                    output_dir=args.output_dir,
+                )
+            )
+            print()
+    return code
+
+
+_ORCH_HANDLERS = {
+    "run": _cmd_orch_run,
+    "status": _cmd_orch_status,
+    "reset": _cmd_orch_reset,
+    "export": _cmd_orch_export,
+}
+
+
+def _cmd_orch(args: argparse.Namespace) -> int:
+    return _ORCH_HANDLERS[args.orch_command](args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -187,6 +429,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "experiments": _cmd_experiments,
         "constants": _cmd_constants,
+        "orch": _cmd_orch,
     }
     return handlers[args.command](args)
 

@@ -5,53 +5,20 @@ Every driver takes a ``quick`` flag: the benchmark harness runs the quick
 variant (seconds), ``python -m repro experiments`` can run the full variant
 (minutes).  The experiment identifiers (E1…E10) match DESIGN.md and
 EXPERIMENTS.md.
+
+Since the introduction of :mod:`repro.orchestration`, the experiment logic
+itself lives in declarative specs (:mod:`repro.orchestration.grids`): a
+parameter grid, a per-cell function and an optional reduction.  The driver
+functions here are thin synchronous wrappers that expand and execute the
+spec in-process (:func:`repro.orchestration.registry.run_spec_inline`), so
+``experiment_e1_figure1_placement()`` and a parallel, store-backed
+``repro orch run e1`` produce identical tables.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
-import numpy as np
-
-from ..baselines import (
-    coloring_schedule,
-    das_wiese_schedule,
-    first_fit_schedule,
-    greedy_schedule,
-    local_search_schedule,
-    lpt_schedule,
-)
-from ..bounds import combined_lower_bound
-from ..core.instance import Instance
-from ..core.result import SolverResult
-from ..core.schedule import Schedule
-from ..eptas import (
-    ConstantsMode,
-    EptasConfig,
-    classify_bags,
-    classify_jobs,
-    eptas_schedule,
-    forward_transform_schedule,
-    normalise_eps,
-    reinsert_medium_jobs,
-    revert_to_original,
-    scale_and_round,
-    solve_for_guess,
-    theory_constants_report,
-    transform_instance,
-)
-from ..exact import exact_milp_schedule
-from ..generators import (
-    bag_heavy_instance,
-    clustered_sizes_instance,
-    figure1_adversarial_instance,
-    planted_optimum_instance,
-    replica_workload_instance,
-    two_size_instance,
-    uniform_random_instance,
-)
-from ..simulation import ClusterSimulator
 from .tables import ExperimentTable
 
 __all__ = [
@@ -71,499 +38,33 @@ __all__ = [
 ]
 
 
-# ----------------------------------------------------------------------
-# E1 — Figure 1: large-job placement matters
-# ----------------------------------------------------------------------
-def experiment_e1_figure1_placement(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Naive vs bag-aware placement on the Figure-1 adversarial family."""
-    table = ExperimentTable(
-        "E1",
-        "Figure 1 — large-job placement matters (makespans, optimum = 1)",
-    )
-    machine_counts = [4, 6] if quick else [4, 6, 8, 12]
-    for machines in machine_counts:
-        generated = figure1_adversarial_instance(num_machines=machines, seed=seed)
-        instance = generated.instance
-        naive = first_fit_schedule(instance)
-        greedy = greedy_schedule(instance)
-        lpt = lpt_schedule(instance)
-        eptas = eptas_schedule(instance, eps=0.25)
-        optimum = generated.known_optimum or exact_milp_schedule(instance).makespan
-        table.add_row(
-            {
-                "machines": machines,
-                "optimum": optimum,
-                "first_fit": naive.makespan,
-                "greedy_list": greedy.makespan,
-                "lpt": lpt.makespan,
-                "eptas(0.25)": eptas.makespan,
-            }
-        )
-    table.add_note(
-        "first-fit packs large jobs to height OPT and is then forced to stack "
-        "the full bag of small jobs — the phenomenon of the paper's Figure 1; "
-        "the EPTAS places large jobs so small jobs still fit."
-    )
-    return table
+def _make_driver(name: str) -> Callable[..., ExperimentTable]:
+    def driver(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
+        # Imported lazily: ``repro.orchestration.registry`` imports this
+        # package's ``tables`` module, so a module-level import here would
+        # close an import cycle through ``repro.experiments.__init__``.
+        from ..orchestration.registry import get_spec, run_spec_inline
+
+        return run_spec_inline(get_spec(name), quick=quick, seed=seed)
+
+    driver.__name__ = f"experiment_{name}"
+    driver.__qualname__ = driver.__name__
+    driver.__doc__ = f"Run experiment {name.upper()} in-process and return its table."
+    return driver
 
 
-# ----------------------------------------------------------------------
-# E2 — Theorem 1: approximation ratios across solvers and families
-# ----------------------------------------------------------------------
-def _ratio_solvers(eps_values: tuple[float, ...]) -> dict[str, Callable[[Instance], SolverResult]]:
-    solvers: dict[str, Callable[[Instance], SolverResult]] = {
-        "greedy_list": greedy_schedule,
-        "lpt": lpt_schedule,
-        "lpt+local_search": local_search_schedule,
-        "coloring": coloring_schedule,
-        "das_wiese(0.25)": lambda inst: das_wiese_schedule(inst, eps=0.25),
-    }
-    for eps in eps_values:
-        solvers[f"eptas({eps:g})"] = lambda inst, eps=eps: eptas_schedule(inst, eps=eps)
-    return solvers
+experiment_e1_figure1_placement = _make_driver("e1")
+experiment_e2_approximation_ratio = _make_driver("e2")
+experiment_e3_scaling_with_n = _make_driver("e3")
+experiment_e4_epsilon_tradeoff = _make_driver("e4")
+experiment_e5_transformation_overhead = _make_driver("e5")
+experiment_e6_medium_reinsertion = _make_driver("e6")
+experiment_e7_milp_size = _make_driver("e7")
+experiment_e8_repair_statistics = _make_driver("e8")
+experiment_e9_fault_tolerance = _make_driver("e9")
+experiment_e10_ablation = _make_driver("e10")
 
 
-def experiment_e2_approximation_ratio(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Measured ratio to the exact optimum for every solver, per family."""
-    table = ExperimentTable("E2", "Theorem 1 — measured approximation ratios (vs exact optimum)")
-    num_seeds = 2 if quick else 5
-    size = dict(num_jobs=14, num_machines=4, num_bags=6) if quick else dict(
-        num_jobs=24, num_machines=5, num_bags=8
-    )
-    families: dict[str, Callable[[int], Instance]] = {
-        "uniform": lambda s: uniform_random_instance(**size, seed=s).instance,
-        "figure1": lambda s: figure1_adversarial_instance(
-            num_machines=size["num_machines"], seed=s
-        ).instance,
-        "replicas": lambda s: replica_workload_instance(
-            num_services=size["num_bags"], num_machines=size["num_machines"], seed=s
-        ).instance,
-        "bag_heavy": lambda s: bag_heavy_instance(
-            num_machines=size["num_machines"], num_full_bags=3, extra_jobs=6, seed=s
-        ).instance,
-    }
-    eps_values = (0.5, 0.25)
-    solvers = _ratio_solvers(eps_values)
-    for family, make in families.items():
-        ratios: dict[str, list[float]] = {name: [] for name in solvers}
-        for offset in range(num_seeds):
-            instance = make(seed + offset)
-            optimum = exact_milp_schedule(instance).makespan
-            for name, solver in solvers.items():
-                ratios[name].append(solver(instance).makespan / optimum)
-        row: dict[str, object] = {"family": family}
-        for name, values in ratios.items():
-            row[name] = float(np.mean(values))
-        table.add_row(row)
-    table.add_note(
-        "expected shape: eptas <= 1 + O(eps) and never worse than the "
-        "2-approximations; greedy/list scheduling degrades on adversarial families."
-    )
-    return table
-
-
-# ----------------------------------------------------------------------
-# E3 — running time scaling with n at fixed eps
-# ----------------------------------------------------------------------
-def experiment_e3_scaling_with_n(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Wall-clock time of EPTAS / Das-Wiese / exact MILP / LPT as n grows."""
-    table = ExperimentTable("E3", "Running time vs number of jobs (fixed eps)")
-    sizes = [16, 32, 64, 128] if quick else [16, 32, 64, 128, 256, 512]
-    exact_cap = 32 if quick else 48
-    for num_jobs in sizes:
-        # Weak scaling: the machine count grows with n so that the per-machine
-        # load (and hence the large/small structure seen by the EPTAS) stays
-        # comparable across the sweep.
-        machines = max(4, num_jobs // 8)
-        instance = clustered_sizes_instance(
-            num_jobs=num_jobs,
-            num_machines=machines,
-            num_bags=max(6, num_jobs // 3),
-            size_values=(1.0, 0.6, 0.3, 0.1),
-            seed=seed,
-        ).instance
-        row: dict[str, object] = {"n": num_jobs, "m": machines}
-        start = time.perf_counter()
-        lpt = lpt_schedule(instance)
-        row["lpt_time"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        eptas = eptas_schedule(instance, eps=0.5)
-        row["eptas_time"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        das = das_wiese_schedule(instance, eps=0.5)
-        row["das_wiese_time"] = time.perf_counter() - start
-
-        if num_jobs <= exact_cap:
-            start = time.perf_counter()
-            exact = exact_milp_schedule(instance)
-            row["exact_time"] = time.perf_counter() - start
-            optimum = exact.makespan
-        else:
-            row["exact_time"] = None
-            optimum = combined_lower_bound(instance)
-        row["eptas_ratio"] = eptas.makespan / optimum
-        row["lpt_ratio"] = lpt.makespan / optimum
-        row["das_wiese_ratio"] = das.makespan / optimum
-        table.add_row(row)
-    table.add_note(
-        "expected shape: the exact MILP blows up first; EPTAS and Das-Wiese "
-        "grow polynomially in n, with the EPTAS paying a constant (eps-only) "
-        "MILP cost per binary-search step."
-    )
-    return table
-
-
-# ----------------------------------------------------------------------
-# E4 — eps trade-off
-# ----------------------------------------------------------------------
-def experiment_e4_epsilon_tradeoff(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Ratio / time / MILP size as eps varies on a fixed instance."""
-    table = ExperimentTable("E4", "Accuracy-versus-cost trade-off in eps")
-    instance = uniform_random_instance(
-        num_jobs=20 if quick else 32,
-        num_machines=4,
-        num_bags=7,
-        seed=seed,
-    ).instance
-    optimum = exact_milp_schedule(instance).makespan
-    eps_values = [1.0, 0.5, 0.25] if quick else [1.0, 0.5, 1 / 3, 0.25, 0.2]
-    for eps in eps_values:
-        start = time.perf_counter()
-        result = eptas_schedule(instance, eps=eps)
-        elapsed = time.perf_counter() - start
-        table.add_row(
-            {
-                "eps": normalise_eps(eps),
-                "ratio": result.makespan / optimum,
-                "guarantee": 1 + 2 * eps + eps * eps,
-                "time_s": elapsed,
-                "patterns": result.diagnostics.get("num_patterns"),
-                "integer_vars": result.diagnostics.get("integer_variables"),
-                "constraints": result.diagnostics.get("constraints"),
-            }
-        )
-    table.add_note("ratio stays below the (1 + 2eps + eps^2) budget; cost rises as eps shrinks.")
-    return table
-
-
-# ----------------------------------------------------------------------
-# E5 — Lemma 2: transformation overhead
-# ----------------------------------------------------------------------
-def experiment_e5_transformation_overhead(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Constructive check of Lemma 2: transformed makespan <= (1+eps)*C."""
-    table = ExperimentTable("E5", "Lemma 2 — instance transformation overhead")
-    eps = 0.25
-    num_cases = 3 if quick else 8
-    for offset in range(num_cases):
-        # Many bags relative to the priority cap and a wide size spread, so a
-        # substantial fraction of bags becomes non-priority and is actually
-        # transformed (large jobs split off, fillers added).
-        instance = clustered_sizes_instance(
-            num_jobs=40,
-            num_machines=5,
-            num_bags=18,
-            size_values=(0.9, 0.6, 0.05, 0.03, 0.02),
-            weights=(0.25, 0.2, 0.2, 0.2, 0.15),
-            seed=seed + offset,
-        ).instance
-        # A feasible schedule S of the original instance (LPT).
-        schedule = lpt_schedule(instance).schedule
-        c_value = schedule.makespan()
-        rounded = scale_and_round(instance, eps, c_value)
-        working = rounded.instance
-        job_classes = classify_jobs(working, eps)
-        bag_classes = classify_bags(
-            working, job_classes, mode=ConstantsMode.PRACTICAL, practical_priority_cap=1
-        )
-        record = transform_instance(working, job_classes, bag_classes)
-        scaled_schedule = Schedule(working, schedule.assignment)
-        transformed_schedule = forward_transform_schedule(record, scaled_schedule)
-        inflation = transformed_schedule.makespan() / max(scaled_schedule.makespan(), 1e-12)
-        table.add_row(
-            {
-                "seed": seed + offset,
-                "original_makespan": scaled_schedule.makespan(),
-                "transformed_makespan": transformed_schedule.makespan(),
-                "inflation": inflation,
-                "lemma2_bound": 1 + eps,
-                "within_bound": inflation <= 1 + eps + 1e-9,
-                "filler_jobs": record.num_filler_jobs,
-                "non_priority_bags_split": len(record.companion_bag),
-            }
-        )
-    table.add_note("Lemma 2: the transformed instance admits a schedule of makespan <= (1+eps)*C.")
-    return table
-
-
-# ----------------------------------------------------------------------
-# E6 — Lemmas 3 & 4: medium re-insertion and revert
-# ----------------------------------------------------------------------
-def experiment_e6_medium_reinsertion(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Measure the makespan increase of Lemma 3 and the zero-cost revert of Lemma 4."""
-    table = ExperimentTable("E6", "Lemmas 3-4 — medium-job re-insertion and filler revert")
-    eps = 0.25
-    num_cases = 3 if quick else 8
-    for offset in range(num_cases):
-        # Hand-crafted shape in already-normalised units (the guessed optimum
-        # is fixed to 1, so the Lemma-1 window for eps = 1/4 and k = 1 is
-        # [1/16, 1/4)): many bags mixing one large job, a few small jobs, and
-        # occasionally one *medium* job of size 0.1.  With a priority cap of
-        # 1 most bags are non-priority, so their medium jobs are removed by
-        # the transformation and Lemma 3 genuinely has work to do.
-        rng = np.random.default_rng(seed + offset)
-        sizes: list[float] = []
-        bags: list[int] = []
-        num_bags = 14
-        for bag in range(num_bags):
-            sizes.append(float(rng.choice([0.55, 0.35])))
-            bags.append(bag)
-            for _ in range(2):
-                sizes.append(float(rng.uniform(0.01, 0.04)))
-                bags.append(bag)
-            if bag % 4 == 0:
-                sizes.append(0.1)  # medium window [1/16, 1/4) for eps = 1/4
-                bags.append(bag)
-        instance = Instance.from_sizes(sizes, bags, num_machines=6, name=f"e6-{offset}")
-        guess = 1.0
-        rounded = scale_and_round(instance, eps, guess)
-        working = rounded.instance
-        working_job_classes = classify_jobs(working, eps)
-        bag_classes = classify_bags(
-            working,
-            working_job_classes,
-            mode=ConstantsMode.PRACTICAL,
-            practical_priority_cap=1,
-        )
-        record = transform_instance(working, working_job_classes, bag_classes)
-        base_schedule = lpt_schedule(record.transformed).schedule
-        before = base_schedule.makespan()
-        augmented = reinsert_medium_jobs(record, base_schedule)
-        after = augmented.makespan()
-        reverted = revert_to_original(record, augmented)
-        reverted.validate()
-        table.add_row(
-            {
-                "seed": seed + offset,
-                "medium_jobs_reinserted": record.num_removed_medium,
-                "makespan_before": before,
-                "makespan_after_lemma3": after,
-                "lemma3_increase": after - before,
-                "lemma3_bound": 2 * eps,
-                "makespan_after_revert": reverted.makespan(),
-                "revert_conflict_free": reverted.is_conflict_free(),
-                "revert_within_augmented": reverted.makespan() <= after + 1e-9,
-            }
-        )
-    table.add_note(
-        "Lemma 3 bounds the increase by 2*eps (in units of the guessed optimum); "
-        "Lemma 4 never increases the makespan and removes every conflict."
-    )
-    return table
-
-
-# ----------------------------------------------------------------------
-# E7 — Lemma 6: MILP size as a function of eps
-# ----------------------------------------------------------------------
-def experiment_e7_milp_size(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Theory constants vs measured MILP sizes (patterns, integer variables)."""
-    table = ExperimentTable("E7", "Lemma 6 — size of the configuration MILP")
-    instance = clustered_sizes_instance(
-        num_jobs=18 if quick else 30,
-        num_machines=4,
-        num_bags=6,
-        size_values=(1.0, 0.55, 0.3),
-        seed=seed,
-    ).instance
-    guess = combined_lower_bound(instance)
-    eps_values = [1.0, 0.5, 0.25] if quick else [1.0, 0.5, 1 / 3, 0.25, 0.2]
-    for eps in eps_values:
-        theory = theory_constants_report(eps)
-        config = EptasConfig(eps=eps, max_patterns=200_000).normalised()
-        _, report = solve_for_guess(instance, guess, config)
-        worst = theory["k=worst"]
-        table.add_row(
-            {
-                "eps": normalise_eps(eps),
-                "theory_q": worst["q"],
-                "theory_b_prime": worst["b_prime"],
-                "theory_log10_patterns": worst["log10_pattern_bound"],
-                "measured_patterns": report.num_patterns,
-                "measured_integer_vars": report.integer_variables,
-                "measured_continuous_vars": report.continuous_variables,
-                "measured_constraints": report.constraints,
-                "milp_feasible": report.feasible,
-            }
-        )
-    table.add_note(
-        "the theory columns reproduce the 2^{O(...)} growth of Lemma 6 (log10 of the "
-        "pattern bound); the measured columns use the practical constants on a real instance."
-    )
-    return table
-
-
-# ----------------------------------------------------------------------
-# E8 — Lemmas 7 & 11: repair statistics
-# ----------------------------------------------------------------------
-def experiment_e8_repair_statistics(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Swap/repair counters of the EPTAS across instance families."""
-    table = ExperimentTable("E8", "Lemmas 7 & 11 — conflict-repair statistics")
-    num_seeds = 2 if quick else 5
-    families: dict[str, Callable[[int], Instance]] = {
-        "uniform": lambda s: uniform_random_instance(
-            num_jobs=24, num_machines=4, num_bags=8, seed=s
-        ).instance,
-        "bag_heavy": lambda s: bag_heavy_instance(
-            num_machines=4, num_full_bags=3, extra_jobs=8, seed=s
-        ).instance,
-        "two_size": lambda s: two_size_instance(num_machines=6, seed=s).instance,
-        # Many bags sharing few large sizes with a priority cap of 1 puts
-        # most large jobs into wildcard slots, which is where Lemma-7 swaps
-        # can become necessary.
-        "many_bags_clustered": lambda s: clustered_sizes_instance(
-            num_jobs=36,
-            num_machines=6,
-            num_bags=18,
-            size_values=(0.7, 0.45, 0.05),
-            seed=s,
-        ).instance,
-    }
-    config = EptasConfig(eps=0.25, practical_priority_cap=1)
-    for family, make in families.items():
-        swaps, conflicts, fallbacks, residual = [], [], [], []
-        for offset in range(num_seeds):
-            instance = make(seed + offset)
-            result = eptas_schedule(instance, eps=0.25, config=config)
-            swaps.append(result.diagnostics.get("large_swaps") or 0)
-            conflicts.append(result.diagnostics.get("repair_conflicts") or 0)
-            attempts = result.diagnostics.get("attempts") or []
-            fallback = 0
-            for attempt in attempts:
-                fallback += attempt.get("large_fallback_moves") or 0
-                fallback += attempt.get("resolved_by_fallback") or 0
-            fallbacks.append(fallback)
-            residual.append(result.schedule.num_conflicts())
-        table.add_row(
-            {
-                "family": family,
-                "mean_lemma7_swaps": float(np.mean(swaps)),
-                "mean_lemma11_conflicts": float(np.mean(conflicts)),
-                "mean_fallback_moves": float(np.mean(fallbacks)),
-                "residual_conflicts": int(max(residual)),
-            }
-        )
-    table.add_note("residual_conflicts must be 0: every returned schedule is feasible.")
-    return table
-
-
-# ----------------------------------------------------------------------
-# E9 — fault tolerance of bag-constrained schedules (intro motivation)
-# ----------------------------------------------------------------------
-def experiment_e9_fault_tolerance(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Replica survivability under machine failures with and without bags."""
-    table = ExperimentTable("E9", "Motivation — replica survivability under machine failures")
-    num_seeds = 3 if quick else 10
-    num_failures_list = [1, 2]
-    for num_failures in num_failures_list:
-        surv_bag, surv_nobag, mk_bag, mk_nobag = [], [], [], []
-        for offset in range(num_seeds):
-            generated = replica_workload_instance(
-                num_services=10, num_machines=6, replicas_range=(2, 3), seed=seed + offset
-            )
-            instance = generated.instance
-            bag_schedule = lpt_schedule(instance).schedule
-            # The bag-oblivious schedule ignores replica separation entirely:
-            # first-fit on singleton bags happily co-locates the replicas of
-            # one service on a single machine.
-            no_bag_instance = Instance(
-                [job.with_bag(job.id) for job in instance.jobs],
-                instance.num_machines,
-                name=instance.name + "#nobags",
-            )
-            no_bag_schedule_raw = first_fit_schedule(
-                no_bag_instance, capacity=bag_schedule.makespan()
-            ).schedule
-            no_bag_schedule = Schedule(instance, no_bag_schedule_raw.assignment, allow_partial=True)
-
-            failures_seed = seed * 1000 + offset
-            report_bag = ClusterSimulator(instance, bag_schedule).run_with_random_failures(
-                num_failures=num_failures, seed=failures_seed
-            )
-            simulator_nobag = ClusterSimulator.__new__(ClusterSimulator)
-            simulator_nobag.instance = instance
-            simulator_nobag.schedule = no_bag_schedule
-            report_nobag = simulator_nobag.run_with_random_failures(
-                num_failures=num_failures, seed=failures_seed
-            )
-            surv_bag.append(report_bag.survivability())
-            surv_nobag.append(report_nobag.survivability())
-            mk_bag.append(bag_schedule.makespan())
-            mk_nobag.append(no_bag_schedule.makespan())
-        table.add_row(
-            {
-                "machine_failures": num_failures,
-                "survivability_with_bags": float(np.mean(surv_bag)),
-                "survivability_without_bags": float(np.mean(surv_nobag)),
-                "makespan_with_bags": float(np.mean(mk_bag)),
-                "makespan_without_bags": float(np.mean(mk_nobag)),
-            }
-        )
-    table.add_note(
-        "bag-constrained schedules keep (almost) every service alive after failures at a "
-        "small makespan premium — the paper's introductory motivation."
-    )
-    return table
-
-
-# ----------------------------------------------------------------------
-# E10 — ablations of the EPTAS design choices
-# ----------------------------------------------------------------------
-def experiment_e10_ablation(*, quick: bool = True, seed: int = 0) -> ExperimentTable:
-    """Ablate the priority-bag cap, the MILP backend and the binary search."""
-    table = ExperimentTable("E10", "Ablation of EPTAS design choices")
-    # Few distinct sizes but many bags: this is the regime where the priority
-    # cap genuinely changes the set of priority bags (and hence the MILP).
-    instance = clustered_sizes_instance(
-        num_jobs=24 if quick else 36,
-        num_machines=4,
-        num_bags=12,
-        size_values=(0.8, 0.5, 0.2),
-        seed=seed,
-    ).instance
-    optimum = exact_milp_schedule(instance).makespan
-
-    variants: dict[str, EptasConfig] = {
-        "default (cap=3, scipy)": EptasConfig(eps=0.25),
-        "priority cap = 1": EptasConfig(eps=0.25, practical_priority_cap=1),
-        "priority cap = 12": EptasConfig(eps=0.25, practical_priority_cap=12),
-        "own branch-and-bound MILP": EptasConfig(eps=0.25, milp_backend="bnb"),
-        "single-shot (no binary search)": EptasConfig(eps=0.25, max_search_iterations=1),
-    }
-    for label, config in variants.items():
-        start = time.perf_counter()
-        result = eptas_schedule(instance, eps=config.eps, config=config)
-        elapsed = time.perf_counter() - start
-        table.add_row(
-            {
-                "variant": label,
-                "ratio": result.makespan / optimum,
-                "time_s": elapsed,
-                "patterns": result.diagnostics.get("num_patterns"),
-                "integer_vars": result.diagnostics.get("integer_variables"),
-                "priority_bags": result.diagnostics.get("num_priority_bags"),
-            }
-        )
-    table.add_note(
-        "all variants stay feasible; a larger priority cap grows the MILP, a smaller one "
-        "shifts work to the swap-repair stages."
-    )
-    return table
-
-
-# ----------------------------------------------------------------------
-# Registry
-# ----------------------------------------------------------------------
 EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "E1": experiment_e1_figure1_placement,
     "E2": experiment_e2_approximation_ratio,

@@ -1,0 +1,49 @@
+"""Persistent, parallel, resumable experiment orchestration.
+
+Turns the in-memory experiment drivers into a database-backed engine:
+
+* :mod:`~repro.orchestration.store` — SQLite (WAL) registry of grid rows
+  with ``pending/running/done/error`` statuses and atomic claiming.
+* :mod:`~repro.orchestration.registry` / :mod:`~repro.orchestration.grids` —
+  declarative specs re-expressing E1…E10 as parameter grids.
+* :mod:`~repro.orchestration.runner` — a ``ProcessPoolExecutor`` worker pool
+  with crash-safe resume (stale ``running`` rows are reclaimed).
+* :mod:`~repro.orchestration.cache` — content-hash solver-result caching.
+* :mod:`~repro.orchestration.export` — completed rows back out as
+  :class:`~repro.experiments.tables.ExperimentTable`, CSV or LaTeX.
+
+Typical workflow (also exposed as ``repro orch ...``)::
+
+    from repro.orchestration import ExperimentStore, run_pool, export
+
+    report = run_pool("orchestration.db", ["e1"], workers=4)
+    with ExperimentStore("orchestration.db") as store:
+        print(export.export_experiment(store, "e1", "markdown"))
+"""
+
+from . import export, registry
+from .cache import activate_cache, active_cache, cached_solve, deactivate_cache, instance_digest
+from .registry import ExperimentSpec, get_spec, run_spec_inline, spec_names
+from .runner import RunReport, populate, run_pool, run_worker
+from .store import ExperimentStore, canonical_params, params_hash
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentStore",
+    "RunReport",
+    "activate_cache",
+    "active_cache",
+    "cached_solve",
+    "canonical_params",
+    "deactivate_cache",
+    "export",
+    "get_spec",
+    "instance_digest",
+    "params_hash",
+    "populate",
+    "registry",
+    "run_pool",
+    "run_spec_inline",
+    "run_worker",
+    "spec_names",
+]

@@ -1,0 +1,178 @@
+"""Content-hash result caching for solver invocations.
+
+A solver call is identified by ``(instance digest, solver name, config)``:
+the digest covers the job multiset (ids, sizes, bags) and the machine count —
+*not* the instance name, so renamed but identical instances share cache
+entries.  Payloads are small JSON summaries (makespan, wall time, optimality
+flag, diagnostics, optional solver-specific extras) — never full schedules —
+so the cache stays cheap to read even on slow disks.
+
+Two layers:
+
+* an in-process memo (always on) so that one grid cell / driver table never
+  recomputes the same exact optimum twice inside a process, and
+* an optional persistent layer backed by the ``cache`` table of an
+  :class:`~repro.orchestration.store.ExperimentStore`, activated per process
+  via :func:`activate_cache` (the worker pool does this automatically) or the
+  ``REPRO_CACHE_DB`` environment variable (used by the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Mapping
+
+from ..core.instance import Instance
+from ..core.result import SolverResult
+from .store import ExperimentStore, _to_jsonable
+
+__all__ = [
+    "activate_cache",
+    "deactivate_cache",
+    "active_cache",
+    "cache_key",
+    "cached_solve",
+    "clear_memo",
+    "instance_digest",
+    "memo_stats",
+]
+
+_memo: dict[str, dict[str, Any]] = {}
+_memo_hits = 0
+_active: ExperimentStore | None = None
+_env_checked = False
+
+ENV_CACHE_DB = "REPRO_CACHE_DB"
+
+
+def instance_digest(instance: Instance) -> str:
+    """Stable content hash of an instance (ignores the display name)."""
+    blob = json.dumps(
+        {
+            "m": instance.num_machines,
+            "jobs": [(job.id, float(job.size), int(job.bag)) for job in instance.jobs],
+        },
+        separators=(",", ":"),
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def cache_key(instance: Instance, solver: str, config: Mapping[str, Any] | None = None) -> str:
+    """Cache key for one solver invocation on one instance."""
+    config_blob = json.dumps(_to_jsonable(config or {}), sort_keys=True, separators=(",", ":"))
+    blob = f"{instance_digest(instance)}\x00{solver}\x00{config_blob}".encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def activate_cache(path: str | os.PathLike[str]) -> ExperimentStore:
+    """Point this process's persistent cache layer at a store file."""
+    global _active
+    if _active is not None:
+        _active.close()
+    _active = ExperimentStore(path)
+    return _active
+
+
+@contextmanager
+def cache_scope(path: str | os.PathLike[str] | None) -> Iterator[ExperimentStore | None]:
+    """Temporarily install a persistent cache layer, restoring the previous one.
+
+    ``path=None`` disables the persistent layer for the scope's duration —
+    including the ``REPRO_CACHE_DB`` env fallback, so ``--no-cache`` really
+    means no persistent reads or writes.  Unlike :func:`activate_cache` this
+    never leaks process-global state: the runner wraps each worker loop in
+    it, so a ``workers=1`` inline run inside a larger process (library use,
+    tests) leaves the ambient cache untouched.
+    """
+    global _active, _env_checked
+    prev_active, prev_checked = _active, _env_checked
+    store = ExperimentStore(path) if path is not None else None
+    _active = store
+    _env_checked = True  # pin: no lazy env activation while the scope holds
+    try:
+        yield store
+    finally:
+        if _active is store:
+            _active = prev_active
+            _env_checked = prev_checked
+        if store is not None:
+            store.close()
+
+
+def deactivate_cache() -> None:
+    global _active, _env_checked
+    if _active is not None:
+        _active.close()
+    _active = None
+    _env_checked = True  # an explicit deactivate also disables the env fallback
+
+
+def active_cache() -> ExperimentStore | None:
+    """The persistent cache layer, lazily honouring ``REPRO_CACHE_DB``."""
+    global _active, _env_checked
+    if _active is None and not _env_checked:
+        _env_checked = True
+        env_path = os.environ.get(ENV_CACHE_DB)
+        if env_path:
+            _active = ExperimentStore(env_path)
+    return _active
+
+
+def clear_memo() -> None:
+    global _memo_hits
+    _memo.clear()
+    _memo_hits = 0
+
+
+def memo_stats() -> dict[str, int]:
+    return {"entries": len(_memo), "hits": _memo_hits}
+
+
+def _summarise(result: SolverResult) -> dict[str, Any]:
+    return {
+        "makespan": float(result.makespan),
+        "wall_time": float(result.wall_time),
+        "optimal": bool(result.optimal),
+        "solver": result.solver,
+        "diagnostics": _to_jsonable(result.diagnostics),
+    }
+
+
+def cached_solve(
+    instance: Instance,
+    solver: str,
+    compute: Callable[[], SolverResult],
+    *,
+    config: Mapping[str, Any] | None = None,
+    extra: Callable[[SolverResult], Mapping[str, Any]] | None = None,
+) -> dict[str, Any]:
+    """Run ``compute`` through the cache; returns the JSON summary payload.
+
+    ``extra`` extracts additional JSON-able fields from the
+    :class:`SolverResult` (e.g. residual conflict counts) which are persisted
+    alongside the standard summary, so cache hits reproduce them too.  The
+    returned payload carries a ``cache_hit`` flag for reporting.
+    """
+    global _memo_hits
+    key = cache_key(instance, solver, config)
+    hit = _memo.get(key)
+    if hit is not None:
+        _memo_hits += 1
+        return {**hit, "cache_hit": True}
+    store = active_cache()
+    if store is not None:
+        payload = store.cache_get(key)
+        if payload is not None:
+            _memo[key] = payload
+            return {**payload, "cache_hit": True}
+    result = compute()
+    payload = _summarise(result)
+    if extra is not None:
+        payload.update(_to_jsonable(extra(result)))
+    _memo[key] = payload
+    if store is not None:
+        store.cache_put(key, solver, payload)
+    return {**payload, "cache_hit": False}

@@ -1,0 +1,163 @@
+"""Pull completed store rows back into tables, CSV and LaTeX.
+
+The export path reuses the exact same ``reduce_rows`` aggregation as the
+inline drivers, so a table exported from an orchestrated (parallel, resumed,
+cached) run is identical to the table the classic
+``repro.experiments.drivers`` functions produce.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+from ..experiments.tables import ExperimentTable
+from . import registry
+from .store import ExperimentStore, params_hash
+
+__all__ = [
+    "table_from_store",
+    "render_table",
+    "to_latex",
+    "export_experiment",
+    "FORMATS",
+]
+
+FORMATS = ("text", "markdown", "csv", "latex")
+
+_LATEX_SPECIALS = {
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+    "\\": r"\textbackslash{}",
+}
+
+
+def _latex_escape(text: str) -> str:
+    return "".join(_LATEX_SPECIALS.get(char, char) for char in text)
+
+
+def _latex_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "--"
+        return f"{value:.4g}"
+    return _latex_escape(str(value))
+
+
+def to_latex(table: ExperimentTable) -> str:
+    """Render a table as a standalone LaTeX ``table`` environment."""
+    columns = table.columns
+    lines = [
+        r"\begin{table}[ht]",
+        r"\centering",
+        rf"\caption{{{_latex_escape(f'{table.experiment_id}: {table.title}')}}}",
+        r"\begin{tabular}{" + "l" * len(columns) + "}",
+        r"\toprule",
+        " & ".join(_latex_escape(str(column)) for column in columns) + r" \\",
+        r"\midrule",
+    ]
+    for row in table.rows:
+        lines.append(" & ".join(_latex_cell(row.get(column)) for column in columns) + r" \\")
+    lines.append(r"\bottomrule")
+    lines.append(r"\end{tabular}")
+    for note in table.notes:
+        lines.append(rf"\par\small {_latex_escape(note)}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)
+
+
+def table_from_store(
+    store: ExperimentStore,
+    experiment: str,
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    require_complete: bool = False,
+) -> ExperimentTable:
+    """Assemble the experiment's table from the store, scoped to one grid.
+
+    The table is built against the *definition* of the grid (``quick`` and
+    ``seed`` must match the ``repro orch run`` invocation): only rows whose
+    content hash belongs to that grid are used, so quick- and full-variant
+    rows coexisting in one store never contaminate each other's aggregates,
+    and cells that were never populated still count as missing.
+    """
+    spec = registry.get_spec(experiment)
+    expected = registry.expand_grid(spec, quick=quick, seed=seed)
+    grid_order = {
+        params_hash(spec.name, params): index for index, params in enumerate(expected)
+    }
+    rows = [
+        row
+        for row in store.fetch_rows(spec.name)
+        if params_hash(spec.name, row.params) in grid_order
+    ]
+    rows.sort(key=lambda row: grid_order[params_hash(spec.name, row.params)])
+    done = [row for row in rows if row.status == "done" and row.result]
+    missing = len(expected) - len(done)
+    variant = "quick" if quick else "full"
+    if require_complete and missing:
+        raise RuntimeError(
+            f"experiment {spec.name!r} has {missing} unfinished cells of the "
+            f"{variant} grid (seed={seed}); run `repro orch run` to completion first"
+        )
+    table = registry.assemble_table(spec, [(row.params, row.result) for row in done])
+    if missing:
+        # Never let a partially-run grid masquerade as a finished experiment:
+        # reduced columns (means over seeds) would silently cover a subset.
+        statuses = sorted({row.status for row in rows if row.status != "done"})
+        table.add_note(
+            f"INCOMPLETE: {len(done)}/{len(expected)} cells of the {variant} grid "
+            f"(seed={seed}) are done"
+            + (f"; statuses present: {statuses}" if statuses else "; rest never populated")
+            + " — aggregates cover only the completed cells"
+        )
+    return table
+
+
+def render_table(table: ExperimentTable, fmt: str) -> str:
+    """Render a table in one of :data:`FORMATS`."""
+    if fmt == "text":
+        return table.to_text()
+    if fmt == "markdown":
+        return table.to_markdown()
+    if fmt == "csv":
+        return table.to_csv()
+    if fmt == "latex":
+        return to_latex(table)
+    raise ValueError(f"unknown export format {fmt!r}; available: {FORMATS}")
+
+
+_EXTENSIONS = {"text": ".txt", "markdown": ".md", "csv": ".csv", "latex": ".tex"}
+
+
+def export_experiment(
+    store: ExperimentStore,
+    experiment: str,
+    fmt: str = "text",
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    output_dir: str | os.PathLike[str] | None = None,
+) -> str:
+    """Render one experiment; optionally also write it under ``output_dir``."""
+    table = table_from_store(store, experiment, quick=quick, seed=seed)
+    rendered = render_table(table, fmt)
+    if output_dir is not None:
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{registry.get_spec(experiment).name}{_EXTENSIONS[fmt]}"
+        path.write_text(rendered + ("\n" if not rendered.endswith("\n") else ""))
+    return rendered

@@ -1,0 +1,132 @@
+"""Declarative experiment registry: specs, grid expansion, inline execution.
+
+An :class:`ExperimentSpec` decomposes one experiment into
+
+* ``make_grid(quick, seed)`` — the parameter grid: a list of self-contained,
+  JSON-able cell parameter dicts (what gets persisted into the store),
+* ``run_cell(**params)`` — executes one cell and returns a JSON-able result
+  dict (what workers run; must be a picklable top-level function),
+* ``reduce_rows(cells)`` — optional aggregation of ``(params, result)`` pairs
+  into final table rows (e.g. averaging ratios over seeds per family).
+
+The same spec drives three execution paths: the in-process driver functions
+in :mod:`repro.experiments.drivers` (via :func:`run_spec_inline`), the
+parallel worker pool in :mod:`repro.orchestration.runner`, and table export
+from a store in :mod:`repro.orchestration.export`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..experiments.tables import ExperimentTable
+
+__all__ = [
+    "ExperimentSpec",
+    "register",
+    "get_spec",
+    "spec_names",
+    "all_specs",
+    "expand_grid",
+    "execute_cell",
+    "assemble_table",
+    "run_spec_inline",
+]
+
+CellPair = tuple[dict[str, Any], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment expressed as grid + cell + reduce."""
+
+    name: str  # registry key, lowercase ("e1" … "e10", "smoke")
+    experiment_id: str  # table identifier ("E1" …)
+    title: str
+    make_grid: Callable[..., list[dict[str, Any]]]  # (quick, seed) -> grid
+    run_cell: Callable[..., dict[str, Any]]  # (**params) -> result
+    reduce_rows: Callable[[list[CellPair]], list[dict[str, Any]]] | None = None
+    notes: tuple[str, ...] = field(default_factory=tuple)
+    # True when cells measure wall-clock time themselves (E3/E4/E10): running
+    # them beside concurrent workers inflates the measured columns, so the
+    # CLI warns and clean timings should use a single worker.
+    timing_sensitive: bool = False
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_loaded() -> None:
+    # The builtin specs live in grids.py; importing it registers them.  Done
+    # lazily so store/cache can be used without pulling in every solver.
+    if not _REGISTRY:
+        from . import grids  # noqa: F401
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up a spec case-insensitively (``"E1"`` and ``"e1"`` both work)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def spec_names() -> list[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> list[ExperimentSpec]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def expand_grid(
+    spec: ExperimentSpec, *, quick: bool = True, seed: int = 0
+) -> list[dict[str, Any]]:
+    """Materialise the parameter grid of one spec."""
+    return spec.make_grid(quick=quick, seed=seed)
+
+
+def execute_cell(experiment: str, params: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one cell by experiment name — the worker-side entry point."""
+    spec = get_spec(experiment)
+    return spec.run_cell(**params)
+
+
+def assemble_table(spec: ExperimentSpec, cells: Sequence[CellPair]) -> ExperimentTable:
+    """Turn executed ``(params, result)`` pairs into the experiment's table."""
+    table = ExperimentTable(spec.experiment_id, spec.title)
+    if spec.reduce_rows is not None:
+        rows = spec.reduce_rows(list(cells))
+    else:
+        rows = [result for _, result in cells]
+    table.add_rows(rows)
+    for note in spec.notes:
+        table.add_note(note)
+    return table
+
+
+def run_spec_inline(
+    spec: ExperimentSpec, *, quick: bool = True, seed: int = 0
+) -> ExperimentTable:
+    """Expand and execute a spec synchronously in this process.
+
+    This is the path the classic ``experiment_eN`` driver functions take: no
+    store, no workers — but the same cells, so results are identical to an
+    orchestrated run (the in-process memo cache still avoids recomputing
+    shared sub-results such as exact optima across cells).
+    """
+    cells: list[CellPair] = []
+    for params in expand_grid(spec, quick=quick, seed=seed):
+        cells.append((dict(params), spec.run_cell(**params)))
+    return assemble_table(spec, cells)

@@ -1,0 +1,163 @@
+"""Parallel, crash-safe execution of store rows.
+
+The runner is deliberately dumb: *all* coordination lives in the store's
+atomic claim semantics.  Each worker process opens its own
+:class:`~repro.orchestration.store.ExperimentStore`, activates the persistent
+result cache against the same file, and loops ``claim → execute → write
+back`` until no pending rows remain.  Because claims are status-guarded row
+updates, any number of workers on one host (including workers of *other*
+runner invocations) cooperate safely.  Do not share the store file across
+machines: SQLite WAL mode is unsafe on network filesystems.
+
+Crash safety: a worker killed mid-cell leaves its row ``running``.  The next
+:func:`run_pool` invocation calls ``reclaim_stale`` before spawning workers,
+so interrupted rows are re-executed while ``done`` rows are never touched —
+that is the resume path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from . import registry
+from .cache import cache_scope
+from .store import ExperimentStore
+
+__all__ = ["RunReport", "populate", "run_pool", "run_worker"]
+
+
+@dataclass(slots=True)
+class RunReport:
+    """Aggregate outcome of one runner invocation."""
+
+    claimed: int = 0
+    done: int = 0
+    errors: int = 0
+    reclaimed: int = 0
+    populated: int = 0
+    workers: int = 1
+    wall_time: float = 0.0
+    worker_tags: list[str] = field(default_factory=list)
+
+    def merge(self, other: "RunReport") -> None:
+        self.claimed += other.claimed
+        self.done += other.done
+        self.errors += other.errors
+        self.worker_tags.extend(other.worker_tags)
+
+
+def populate(
+    store: ExperimentStore,
+    experiments: Sequence[str],
+    *,
+    quick: bool = True,
+    seed: int = 0,
+) -> int:
+    """Expand the grids of the named experiments into the store (idempotent)."""
+    added = 0
+    for name in experiments:
+        spec = registry.get_spec(name)
+        grid = registry.expand_grid(spec, quick=quick, seed=seed)
+        added += store.add_rows(spec.name, grid)
+    return added
+
+
+def run_worker(
+    db_path: str,
+    experiments: Sequence[str] | None,
+    worker_tag: str,
+    *,
+    use_cache: bool = True,
+) -> RunReport:
+    """Claim-execute-writeback loop of a single worker (also used inline)."""
+    report = RunReport(worker_tags=[worker_tag])
+    # cache_scope (not activate_cache) so the inline workers=1 path does not
+    # leave the process-global cache pointed at this store after returning;
+    # a None path pins the persistent layer (and its env fallback) off, so
+    # use_cache=False cannot be overridden by REPRO_CACHE_DB.
+    with cache_scope(db_path if use_cache else None), ExperimentStore(db_path) as store:
+        while True:
+            claimed = store.claim_next(worker_tag, experiments)
+            if claimed is None:
+                break
+            report.claimed += 1
+            start = time.perf_counter()
+            try:
+                result = registry.execute_cell(claimed.experiment, claimed.params)
+            except Exception:
+                store.fail(
+                    claimed.id,
+                    traceback.format_exc(),
+                    duration=time.perf_counter() - start,
+                    worker=worker_tag,
+                )
+                report.errors += 1
+            else:
+                store.complete(
+                    claimed.id,
+                    result,
+                    duration=time.perf_counter() - start,
+                    worker=worker_tag,
+                )
+                report.done += 1
+    return report
+
+
+def run_pool(
+    db_path: str | os.PathLike[str],
+    experiments: Sequence[str] | None = None,
+    *,
+    workers: int = 2,
+    quick: bool = True,
+    seed: int = 0,
+    do_populate: bool | None = None,
+    stale_after: float = 600.0,
+    use_cache: bool = True,
+) -> RunReport:
+    """Populate (optionally), reclaim stale rows, then drain with a worker pool.
+
+    ``experiments=None`` drains every experiment already present in the
+    store (grid expansion needs explicit names, so ``do_populate`` then
+    defaults to off; it defaults to on when names are given).  Stale-row
+    reclaim is scoped to the experiments being run, so this invocation never
+    steals in-progress rows a concurrent runner was asked to handle.
+    ``stale_after`` is the age in seconds beyond which a ``running`` row is
+    considered orphaned by a dead worker and reclaimed; pass ``0`` to
+    reclaim all running rows (safe when no other runner shares the file).
+    """
+    db_path = str(db_path)
+    start = time.perf_counter()
+    names = [registry.get_spec(name).name for name in experiments] if experiments else None
+    if do_populate is None:
+        do_populate = names is not None
+    report = RunReport(workers=max(1, int(workers)))
+    with ExperimentStore(db_path) as store:
+        if do_populate:
+            if names is None:
+                raise ValueError("populate requires an explicit experiment list")
+            report.populated = populate(store, names, quick=quick, seed=seed)
+        report.reclaimed = store.reclaim_stale(
+            older_than=stale_after, experiments=names
+        )
+        pending = store.pending_count(names)
+    if pending > 0:
+        pid = os.getpid()
+        if report.workers == 1:
+            report.merge(run_worker(db_path, names, f"w0.{pid}", use_cache=use_cache))
+        else:
+            with ProcessPoolExecutor(max_workers=report.workers) as pool:
+                futures = [
+                    pool.submit(
+                        run_worker, db_path, names, f"w{i}.{pid}", use_cache=use_cache
+                    )
+                    for i in range(report.workers)
+                ]
+                for future in futures:
+                    report.merge(future.result())
+    report.wall_time = time.perf_counter() - start
+    return report

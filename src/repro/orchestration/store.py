@@ -1,0 +1,402 @@
+"""SQLite-backed experiment registry: the persistence layer of orchestration.
+
+A *store* is a single SQLite file (WAL mode) holding two tables:
+
+``runs``
+    One row per grid cell of an experiment: canonical-JSON parameters, a
+    content hash, a ``pending/running/done/error`` status, timing columns and
+    the JSON result payload.  Rows are idempotently inserted (re-expanding a
+    grid never duplicates work) and atomically claimed (``BEGIN IMMEDIATE``
+    plus a status-guarded UPDATE), so any number of worker processes on one
+    host never double-run a cell.  Sharing the file *across machines* (NFS &
+    co.) is NOT safe: WAL mode relies on shared memory, which network
+    filesystems don't provide — multi-machine operation needs a server-backed
+    store (see the ROADMAP).
+
+``cache``
+    Content-addressed solver results keyed by
+    ``sha256(instance digest, solver name, config)`` — see
+    :mod:`repro.orchestration.cache`.
+
+The store is deliberately connection-per-instance: every worker process
+constructs its own :class:`ExperimentStore` against the shared path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "ExperimentStore",
+    "ClaimedRow",
+    "StoredRow",
+    "canonical_params",
+    "params_hash",
+    "STATUSES",
+]
+
+STATUSES = ("pending", "running", "done", "error")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment  TEXT NOT NULL,
+    params      TEXT NOT NULL,
+    param_hash  TEXT NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'pending',
+    result      TEXT,
+    error       TEXT,
+    worker      TEXT,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    created_at  REAL NOT NULL,
+    claimed_at  REAL,
+    finished_at REAL,
+    duration    REAL,
+    UNIQUE (experiment, param_hash)
+);
+CREATE INDEX IF NOT EXISTS idx_runs_status ON runs (experiment, status);
+CREATE TABLE IF NOT EXISTS cache (
+    key        TEXT PRIMARY KEY,
+    solver     TEXT NOT NULL,
+    payload    TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    hits       INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Coerce numpy scalars / containers into plain JSON-compatible types."""
+    if isinstance(value, Mapping):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # numpy scalars expose .item(); anything else falls back to str().
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """Canonical JSON encoding of a parameter dict (sorted keys, no spaces)."""
+    return json.dumps(_to_jsonable(params), sort_keys=True, separators=(",", ":"))
+
+
+def params_hash(experiment: str, params: Mapping[str, Any]) -> str:
+    """Stable content hash identifying one grid cell of one experiment."""
+    blob = f"{experiment}\x00{canonical_params(params)}".encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimedRow:
+    """A row handed to a worker: execute, then ``complete`` or ``fail`` it."""
+
+    id: int
+    experiment: str
+    params: dict[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class StoredRow:
+    """Full row view used by status/export paths."""
+
+    id: int
+    experiment: str
+    params: dict[str, Any]
+    status: str
+    result: dict[str, Any] | None
+    error: str | None
+    worker: str | None
+    attempts: int
+    duration: float | None
+
+
+class ExperimentStore:
+    """Persistent registry of experiment grid rows plus the result cache."""
+
+    def __init__(self, path: str | os.PathLike[str], *, timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        # isolation_level=None -> autocommit; transactions are explicit
+        # (BEGIN IMMEDIATE) exactly where atomicity matters.
+        self._conn = sqlite3.connect(self.path, timeout=timeout, isolation_level=None)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Grid population
+    # ------------------------------------------------------------------
+    def add_rows(self, experiment: str, grid: Iterable[Mapping[str, Any]]) -> int:
+        """Idempotently insert grid cells; returns the number actually added."""
+        now = time.time()
+        added = 0
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            for params in grid:
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO runs "
+                    "(experiment, params, param_hash, status, created_at) "
+                    "VALUES (?, ?, ?, 'pending', ?)",
+                    (experiment, canonical_params(params), params_hash(experiment, params), now),
+                )
+                added += cursor.rowcount
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return added
+
+    # ------------------------------------------------------------------
+    # Claiming and completion
+    # ------------------------------------------------------------------
+    def claim_next(
+        self, worker: str, experiments: Sequence[str] | None = None
+    ) -> ClaimedRow | None:
+        """Atomically claim the oldest pending row (optionally filtered).
+
+        ``BEGIN IMMEDIATE`` takes the SQLite write lock before the SELECT, so
+        two workers can never observe (and claim) the same pending row.
+        """
+        query = "SELECT id, experiment, params FROM runs WHERE status = 'pending'"
+        args: list[Any] = []
+        if experiments:
+            placeholders = ",".join("?" for _ in experiments)
+            query += f" AND experiment IN ({placeholders})"
+            args.extend(experiments)
+        query += " ORDER BY id LIMIT 1"
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(query, args).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return None
+            self._conn.execute(
+                "UPDATE runs SET status = 'running', worker = ?, claimed_at = ?, "
+                "attempts = attempts + 1, error = NULL WHERE id = ?",
+                (worker, time.time(), row["id"]),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return ClaimedRow(id=row["id"], experiment=row["experiment"], params=json.loads(row["params"]))
+
+    def complete(
+        self,
+        row_id: int,
+        result: Mapping[str, Any],
+        *,
+        duration: float,
+        worker: str | None = None,
+    ) -> bool:
+        """Mark a claimed row done and persist its JSON result payload.
+
+        The update is guarded on ``status='running'`` (and on ``worker`` when
+        given): if the row was reclaimed as stale and handed to a new owner
+        while this worker was still computing, the late writeback is dropped
+        instead of clobbering the new owner's state.  Returns whether the
+        write landed.
+        """
+        query = (
+            "UPDATE runs SET status = 'done', result = ?, finished_at = ?, duration = ? "
+            "WHERE id = ? AND status = 'running'"
+        )
+        args: list[Any] = [json.dumps(_to_jsonable(result)), time.time(), duration, row_id]
+        if worker is not None:
+            query += " AND worker = ?"
+            args.append(worker)
+        return self._conn.execute(query, args).rowcount == 1
+
+    def fail(
+        self, row_id: int, error: str, *, duration: float, worker: str | None = None
+    ) -> bool:
+        """Mark a claimed row errored, keeping the traceback for post-mortems.
+
+        Guarded like :meth:`complete`; returns whether the write landed.
+        """
+        query = (
+            "UPDATE runs SET status = 'error', error = ?, finished_at = ?, duration = ? "
+            "WHERE id = ? AND status = 'running'"
+        )
+        args: list[Any] = [error, time.time(), duration, row_id]
+        if worker is not None:
+            query += " AND worker = ?"
+            args.append(worker)
+        return self._conn.execute(query, args).rowcount == 1
+
+    def reclaim_stale(
+        self, *, older_than: float = 0.0, experiments: Sequence[str] | None = None
+    ) -> int:
+        """Re-open ``running`` rows claimed more than ``older_than`` s ago.
+
+        A worker that was SIGKILLed leaves its row ``running`` forever; the
+        next runner invocation calls this before spawning workers so the row
+        is re-executed.  Completed rows are untouched — resume never re-runs
+        finished work.  ``experiments`` restricts the reclaim so a runner
+        never steals in-progress rows of experiments it was not asked to run
+        (another invocation may legitimately be working on those).
+        """
+        query = (
+            "UPDATE runs SET status = 'pending', worker = NULL, claimed_at = NULL "
+            "WHERE status = 'running' AND claimed_at <= ?"
+        )
+        args: list[Any] = [time.time() - older_than]
+        if experiments:
+            query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
+            args.extend(experiments)
+        cursor = self._conn.execute(query, args)
+        return cursor.rowcount
+
+    def reset(
+        self,
+        experiments: Sequence[str] | None = None,
+        *,
+        statuses: Sequence[str] = ("running", "error"),
+    ) -> int:
+        """Move rows of the given statuses back to ``pending`` (results cleared)."""
+        query = (
+            "UPDATE runs SET status = 'pending', result = NULL, error = NULL, "
+            "worker = NULL, claimed_at = NULL, finished_at = NULL, duration = NULL "
+            f"WHERE status IN ({','.join('?' for _ in statuses)})"
+        )
+        args: list[Any] = list(statuses)
+        if experiments:
+            query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
+            args.extend(experiments)
+        cursor = self._conn.execute(query, args)
+        return cursor.rowcount
+
+    def delete_rows(
+        self,
+        experiments: Sequence[str] | None = None,
+        *,
+        statuses: Sequence[str] | None = None,
+    ) -> int:
+        """Drop grid rows entirely (e.g. before re-expanding a changed grid).
+
+        ``statuses=None`` deletes rows of every status; pass an explicit list
+        to e.g. drop only ``error`` rows while keeping ``done`` results.
+        """
+        clauses: list[str] = []
+        args: list[Any] = []
+        if experiments:
+            clauses.append(f"experiment IN ({','.join('?' for _ in experiments)})")
+            args.extend(experiments)
+        if statuses:
+            clauses.append(f"status IN ({','.join('?' for _ in statuses)})")
+            args.extend(statuses)
+        query = "DELETE FROM runs"
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        cursor = self._conn.execute(query, args)
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status_counts(self) -> dict[str, dict[str, int]]:
+        """``{experiment: {status: count}}`` over the whole store."""
+        counts: dict[str, dict[str, int]] = {}
+        for row in self._conn.execute(
+            "SELECT experiment, status, COUNT(*) AS n FROM runs GROUP BY experiment, status"
+        ):
+            counts.setdefault(row["experiment"], {})[row["status"]] = row["n"]
+        return counts
+
+    def pending_count(self, experiments: Sequence[str] | None = None) -> int:
+        query = "SELECT COUNT(*) FROM runs WHERE status = 'pending'"
+        args: list[Any] = []
+        if experiments:
+            query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
+            args.extend(experiments)
+        return int(self._conn.execute(query, args).fetchone()[0])
+
+    def fetch_rows(
+        self, experiment: str, *, status: str | None = None
+    ) -> list[StoredRow]:
+        """All rows of one experiment in grid (insertion) order."""
+        query = "SELECT * FROM runs WHERE experiment = ?"
+        args: list[Any] = [experiment]
+        if status is not None:
+            query += " AND status = ?"
+            args.append(status)
+        query += " ORDER BY id"
+        out = []
+        for row in self._conn.execute(query, args):
+            out.append(
+                StoredRow(
+                    id=row["id"],
+                    experiment=row["experiment"],
+                    params=json.loads(row["params"]),
+                    status=row["status"],
+                    result=json.loads(row["result"]) if row["result"] else None,
+                    error=row["error"],
+                    worker=row["worker"],
+                    attempts=row["attempts"],
+                    duration=row["duration"],
+                )
+            )
+        return out
+
+    def experiments(self) -> list[str]:
+        return [
+            row["experiment"]
+            for row in self._conn.execute(
+                "SELECT DISTINCT experiment FROM runs ORDER BY experiment"
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Result cache (used by repro.orchestration.cache)
+    # ------------------------------------------------------------------
+    def cache_get(self, key: str) -> dict[str, Any] | None:
+        row = self._conn.execute("SELECT payload FROM cache WHERE key = ?", (key,)).fetchone()
+        if row is None:
+            return None
+        self._conn.execute("UPDATE cache SET hits = hits + 1 WHERE key = ?", (key,))
+        return json.loads(row["payload"])
+
+    def cache_put(self, key: str, solver: str, payload: Mapping[str, Any]) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO cache (key, solver, payload, created_at, hits) "
+            "VALUES (?, ?, ?, ?, COALESCE((SELECT hits FROM cache WHERE key = ?), 0))",
+            (key, solver, json.dumps(_to_jsonable(payload)), time.time(), key),
+        )
+
+    def cache_stats(self) -> dict[str, int]:
+        row = self._conn.execute(
+            "SELECT COUNT(*) AS entries, COALESCE(SUM(hits), 0) AS hits FROM cache"
+        ).fetchone()
+        return {"entries": row["entries"], "hits": row["hits"]}
+
+    def clear_cache(self) -> int:
+        return self._conn.execute("DELETE FROM cache").rowcount

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Instance, Job, Schedule
+from repro.core import Instance
 from repro.generators import (
     bag_heavy_instance,
     figure1_adversarial_instance,
@@ -66,18 +66,6 @@ def planted_instance():
 
 
 # ----------------------------------------------------------------------
-# Helpers
+# Helpers (canonical home: tests/helpers.py — re-exported for convenience)
 # ----------------------------------------------------------------------
-def assert_feasible(schedule: Schedule) -> None:
-    """Assert a schedule is complete and conflict-free."""
-    report = schedule.validation_report()
-    assert report.is_feasible, report.summary()
-
-
-def make_instance(sizes, bags, machines, name="test") -> Instance:
-    return Instance.from_sizes(list(sizes), bags=list(bags), num_machines=machines, name=name)
-
-
-def make_jobs(*specs: tuple[float, int]) -> list[Job]:
-    """Build jobs from (size, bag) tuples with sequential ids."""
-    return [Job(id=i, size=float(size), bag=int(bag)) for i, (size, bag) in enumerate(specs)]
+from helpers import assert_feasible, make_instance, make_jobs  # noqa: E402,F401

@@ -1,0 +1,30 @@
+"""Importable helpers shared across test modules.
+
+These used to live in ``tests/conftest.py`` and were imported with
+``from conftest import ...``, which breaks as soon as another ``conftest.py``
+(e.g. ``benchmarks/conftest.py``) shadows the name on ``sys.path``.  Keeping
+them in a regular module makes the import unambiguous: pytest inserts the
+``tests/`` directory into ``sys.path`` (rootdir-relative, no ``__init__.py``),
+so ``from helpers import ...`` always resolves here.
+"""
+
+from __future__ import annotations
+
+from repro.core import Instance, Job, Schedule
+
+__all__ = ["assert_feasible", "make_instance", "make_jobs"]
+
+
+def assert_feasible(schedule: Schedule) -> None:
+    """Assert a schedule is complete and conflict-free."""
+    report = schedule.validation_report()
+    assert report.is_feasible, report.summary()
+
+
+def make_instance(sizes, bags, machines, name="test") -> Instance:
+    return Instance.from_sizes(list(sizes), bags=list(bags), num_machines=machines, name=name)
+
+
+def make_jobs(*specs: tuple[float, int]) -> list[Job]:
+    """Build jobs from (size, bag) tuples with sequential ids."""
+    return [Job(id=i, size=float(size), bag=int(bag)) for i, (size, bag) in enumerate(specs)]

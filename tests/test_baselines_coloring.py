@@ -8,7 +8,7 @@ from repro.baselines import coloring_schedule
 from repro.bounds import combined_lower_bound
 from repro.generators import bag_heavy_instance, uniform_random_instance
 
-from conftest import assert_feasible
+from helpers import assert_feasible
 
 
 def test_feasible_on_fixtures(tiny_instance, uniform_instance, full_bag_instance):

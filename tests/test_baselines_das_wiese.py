@@ -11,7 +11,7 @@ from repro.core.errors import SolverLimitError
 from repro.exact import exact_milp_schedule
 from repro.generators import figure1_adversarial_instance, uniform_random_instance
 
-from conftest import assert_feasible
+from helpers import assert_feasible
 
 
 class TestHelpers:

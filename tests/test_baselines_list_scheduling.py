@@ -14,7 +14,7 @@ from repro.bounds import combined_lower_bound
 from repro.core import Schedule
 from repro.generators import uniform_random_instance
 
-from conftest import assert_feasible
+from helpers import assert_feasible
 
 
 class TestGreedySchedule:

@@ -15,7 +15,7 @@ from repro.core import Instance, Schedule
 from repro.exact import brute_force_optimum
 from repro.generators import uniform_random_instance
 
-from conftest import assert_feasible
+from helpers import assert_feasible
 
 
 class TestImproveSchedule:

@@ -9,7 +9,7 @@ from repro.core import Job
 from repro.core.errors import AlgorithmError
 from repro.generators import uniform_random_instance
 
-from conftest import assert_feasible, make_jobs
+from helpers import assert_feasible, make_jobs
 
 
 class TestLptSchedule:

@@ -8,7 +8,7 @@ from repro.core import Instance
 from repro.eptas import EptasConfig, eptas_schedule
 from repro.exact import brute_force_optimum
 
-from conftest import assert_feasible
+from helpers import assert_feasible
 
 
 class TestDegenerateShapes:

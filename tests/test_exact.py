@@ -18,7 +18,7 @@ from repro.exact import (
 )
 from repro.generators import uniform_random_instance
 
-from conftest import assert_feasible
+from helpers import assert_feasible
 
 
 class TestBruteForce:

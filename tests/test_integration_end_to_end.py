@@ -16,7 +16,7 @@ from repro.exact import exact_milp_schedule
 from repro.generators import FAMILIES, generate
 from repro.simulation import ClusterSimulator
 
-from conftest import assert_feasible
+from helpers import assert_feasible
 
 ALL_SOLVERS = {
     "greedy": lambda inst: greedy_schedule(inst),
