@@ -1,0 +1,167 @@
+"""Benchmark: inline sequential vs pooled solves of an E7-style MILP batch.
+
+Builds ``--num-milps`` independent configuration MILPs (the exact models
+experiment E7 solves: clustered-size instances, practical constants,
+eps = 1/4), solves the batch twice —
+
+* **inline**: sequentially through the solver service in this process (the
+  pre-pool behaviour of every call site), and
+* **pooled**: as one ``solve_many`` batch over ``--servers`` subprocess
+  solver servers —
+
+verifies the objective values are identical, and writes the wall-clock
+numbers plus the per-solve telemetry (backend fingerprint, per-solve wall
+time, server pid) to ``BENCH_solver_pool.json``.
+
+The pooled speedup is bounded by the machine: on ``cpu_count`` cores at
+most ``min(servers, cpu_count)``x is physically available, so the artifact
+records ``cpu_count`` alongside the measurement (a 1-core container shows
+~1x with the pool's small IPC overhead; the CI pool-smoke job runs on
+multi-core runners).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_solver_pool.py [--servers 2]
+        [--num-milps 8] [--output BENCH_solver_pool.json]
+
+Also importable: ``run_benchmark()`` returns the result dict (used by the
+pytest smoke test at the bottom and by CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from repro.bounds import combined_lower_bound
+from repro.eptas import EptasConfig
+from repro.eptas.driver import _prepare_guess
+from repro.generators import clustered_sizes_instance
+from repro.milp import LinearModel
+from repro.solver import SolveRequest, SolverPool, SolverService
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_solver_pool.json"
+
+
+def build_milp_batch(num_milps: int, *, eps: float = 0.25, num_jobs: int = 18) -> list[LinearModel]:
+    """The configuration MILPs of ``num_milps`` E7-style cells (one per seed)."""
+    config = EptasConfig(eps=eps, max_patterns=200_000).normalised()
+    models: list[LinearModel] = []
+    for seed in range(num_milps):
+        instance = clustered_sizes_instance(
+            num_jobs=num_jobs,
+            num_machines=4,
+            num_bags=6,
+            size_values=(1.0, 0.55, 0.3),
+            seed=seed,
+        ).instance
+        guess = combined_lower_bound(instance)
+        prepared = _prepare_guess(instance, guess, config)
+        models.append(prepared.configuration.model)
+    return models
+
+
+def _telemetry(solutions) -> list[dict[str, Any]]:
+    return [
+        solution.telemetry.to_dict() if solution.telemetry is not None else {}
+        for solution in solutions
+    ]
+
+
+def run_benchmark(
+    *, num_milps: int = 8, servers: int = 2, eps: float = 0.25, num_jobs: int = 18
+) -> dict[str, Any]:
+    models = build_milp_batch(num_milps, eps=eps, num_jobs=num_jobs)
+    requests = [SolveRequest(model=model) for model in models]
+
+    inline_service = SolverService()
+    started = time.perf_counter()
+    inline_solutions = inline_service.solve_many(requests)
+    inline_wall = time.perf_counter() - started
+
+    with SolverPool(servers) as pool:
+        pooled_service = SolverService(pool)
+        started = time.perf_counter()
+        pooled_solutions = pooled_service.solve_many(requests)
+        pooled_wall = time.perf_counter() - started
+        pool_stats = pool.stats()
+
+    inline_objectives = [round(s.objective, 9) for s in inline_solutions]
+    pooled_objectives = [round(s.objective, 9) for s in pooled_solutions]
+    return {
+        "benchmark": "solver_pool",
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count(),
+        "num_milps": num_milps,
+        "servers": servers,
+        "eps": eps,
+        "num_jobs": num_jobs,
+        "model_sizes": [model.summary() for model in models],
+        "inline": {
+            "wall_time_s": inline_wall,
+            "per_solve": _telemetry(inline_solutions),
+        },
+        "pooled": {
+            "wall_time_s": pooled_wall,
+            "per_solve": _telemetry(pooled_solutions),
+            "pool_stats": {
+                "submitted": pool_stats.submitted,
+                "completed": pool_stats.completed,
+                "crashes": pool_stats.crashes,
+                "restarts": pool_stats.restarts,
+                "timeouts": pool_stats.timeouts,
+            },
+        },
+        "speedup": inline_wall / pooled_wall if pooled_wall > 0 else None,
+        "objectives": inline_objectives,
+        "objectives_identical": inline_objectives == pooled_objectives,
+        "note": (
+            "speedup is bounded above by min(servers, cpu_count); "
+            "a single-core host shows ~1x by construction"
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-milps", type=int, default=8)
+    parser.add_argument("--servers", type=int, default=2)
+    parser.add_argument("--eps", type=float, default=0.25)
+    parser.add_argument("--num-jobs", type=int, default=18)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(
+        num_milps=args.num_milps,
+        servers=args.servers,
+        eps=args.eps,
+        num_jobs=args.num_jobs,
+    )
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"inline {result['inline']['wall_time_s']:.3f}s vs pooled({args.servers}) "
+        f"{result['pooled']['wall_time_s']:.3f}s -> speedup {result['speedup']:.2f}x "
+        f"on {result['cpu_count']} cpu(s); objectives identical: "
+        f"{result['objectives_identical']}"
+    )
+    print(f"wrote {args.output}")
+    return 0 if result["objectives_identical"] else 1
+
+
+def test_solver_pool_benchmark_smoke(tmp_path):
+    """Tiny smoke variant for the benchmark harness / CI."""
+    result = run_benchmark(num_milps=4, servers=2, num_jobs=12)
+    assert result["objectives_identical"]
+    assert result["speedup"] is not None and result["speedup"] > 0
+    assert len(result["pooled"]["per_solve"]) == 4
+    assert all(item.get("pooled") for item in result["pooled"]["per_solve"])
+    (tmp_path / "bench.json").write_text(json.dumps(result))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

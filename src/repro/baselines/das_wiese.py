@@ -8,7 +8,7 @@ exactly the dependence that makes the running time ``n^{f(1/eps)}`` instead
 of ``f(1/eps) * poly(n)`` and that the paper reproduced here removes.
 
 This module implements a faithful-in-spirit baseline (the original has no
-public code, see DESIGN.md §4):
+public code):
 
 1. dual-approximation binary search over the target makespan ``T``;
 2. large jobs (``p_j >= eps*T``) are grouped by bag and geometrically
@@ -26,7 +26,7 @@ its cost explodes with the number of bags, which experiment E3 demonstrates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 from ..bounds import combined_lower_bound
@@ -35,7 +35,8 @@ from ..core.instance import Instance
 from ..core.job import Job
 from ..core.result import SolverResult, timed_solver_result
 from ..core.schedule import Schedule
-from ..milp import LinearModel, SolutionStatus, solve_model
+from ..milp import LinearModel, SolutionStatus
+from ..solver import BackendSpec, get_solver_service
 from .list_scheduling import greedy_assign, upper_bound_makespan
 
 __all__ = ["das_wiese_schedule", "DasWieseConfig"]
@@ -43,13 +44,25 @@ __all__ = ["das_wiese_schedule", "DasWieseConfig"]
 
 @dataclass(frozen=True, slots=True)
 class DasWieseConfig:
-    """Tuning knobs of the Das–Wiese-style baseline."""
+    """Tuning knobs of the Das–Wiese-style baseline.
+
+    ``milp_backend`` is validated against the solver-backend registry at
+    construction (see :mod:`repro.solver`).
+    """
 
     eps: float = 0.25
     max_configurations: int = 200_000
-    milp_backend: str = "scipy"
+    milp_backend: str | BackendSpec = "scipy"
     milp_time_limit: float | None = 60.0
     binary_search_tol: float = 1e-4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "milp_backend", BackendSpec.coerce(self.milp_backend))
+
+    @property
+    def backend_spec(self) -> BackendSpec:
+        assert isinstance(self.milp_backend, BackendSpec)
+        return self.milp_backend
 
 
 def _rounded_size(size: float, eps: float) -> float:
@@ -162,8 +175,8 @@ def _try_build_schedule(
         float(instance.num_machines),
     )
 
-    solution = solve_model(
-        model, backend=config.milp_backend, time_limit=config.milp_time_limit
+    solution = get_solver_service().solve(
+        model, spec=config.backend_spec, time_limit=config.milp_time_limit
     )
     if solution.status not in (SolutionStatus.OPTIMAL, SolutionStatus.FEASIBLE):
         return None
@@ -210,13 +223,7 @@ def das_wiese_schedule(
     """
     config = config or DasWieseConfig(eps=eps)
     if config.eps != eps:
-        config = DasWieseConfig(
-            eps=eps,
-            max_configurations=config.max_configurations,
-            milp_backend=config.milp_backend,
-            milp_time_limit=config.milp_time_limit,
-            binary_search_tol=config.binary_search_tol,
-        )
+        config = replace(config, eps=eps)
 
     diagnostics: dict[str, object] = {"search_iterations": 0}
 

@@ -123,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the persistent result cache"
     )
     orch_run.add_argument(
+        "--solver-servers",
+        type=int,
+        default=0,
+        help="subprocess solver servers per worker (0 = solve MILPs inline); "
+        "cells then overlap independent MILPs on the shared pool",
+    )
+    orch_run.add_argument(
         "--no-populate",
         action="store_true",
         help="only drain rows already in the store (skip grid expansion)",
@@ -311,6 +318,7 @@ def _cmd_orch_run(args: argparse.Namespace) -> int:
         do_populate=not args.no_populate,
         stale_after=args.stale_after,
         use_cache=not args.no_cache,
+        solver_servers=args.solver_servers,
     )
     print(
         f"populated {report.populated} new rows, reclaimed {report.reclaimed} stale rows"

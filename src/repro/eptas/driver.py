@@ -22,7 +22,7 @@ conflict-free on the *original* instance.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..baselines.list_scheduling import greedy_assign
@@ -31,9 +31,17 @@ from ..core.errors import ReproError, SolverLimitError
 from ..core.instance import Instance
 from ..core.result import SolverResult, timed_solver_result
 from ..core.schedule import Schedule
+from ..solver import SolverPoolError, get_solver_service
 from .classification import classify_bags, classify_jobs
 from .large_jobs import place_large_and_medium
-from .milp import build_configuration_milp, solve_configuration_milp
+from .milp import (
+    ConfigurationModel,
+    ConfigurationSolution,
+    build_configuration_milp,
+    configuration_solve_request,
+    interpret_milp_solution,
+    solve_configuration_milp,
+)
 from .params import ConstantsMode, EptasConfig
 from .patterns import collect_entry_types, enumerate_patterns
 from .repair import resolve_conflicts
@@ -80,15 +88,28 @@ class AttemptReport:
         }
 
 
-def solve_for_guess(
-    instance: Instance, guess: float, config: EptasConfig
-) -> tuple[Schedule | None, AttemptReport]:
-    """Run one decision step of the dual approximation.
+@dataclass(slots=True)
+class _PreparedGuess:
+    """Everything of one decision step up to (but excluding) the MILP solve.
 
-    Returns a feasible schedule of the *original* instance with makespan at
-    most ``(1 + O(eps)) * guess`` when the configuration MILP admits a
-    solution for the guess, and ``None`` otherwise.
+    Building this is pure CPU work in the driver process; the expensive MILP
+    solve that follows is what the solver pool overlaps across guesses.
     """
+
+    guess: float
+    report: AttemptReport
+    record: Any  # TransformationRecord
+    transformed_job_classes: Any  # JobClasses
+    bag_classes: Any  # BagClasses
+    constants: Any  # DerivedConstants
+    patterns: Any  # PatternSet
+    configuration: ConfigurationModel
+
+
+def _prepare_guess(
+    instance: Instance, guess: float, config: EptasConfig
+) -> _PreparedGuess:
+    """Scale, classify, transform, enumerate patterns and assemble the MILP."""
     report = AttemptReport(guess=guess, feasible=False)
     eps = config.eps
 
@@ -135,9 +156,37 @@ def solve_for_guess(
     report.integer_variables = int(summary.get("integer_variables", 0))
     report.continuous_variables = int(summary.get("continuous_variables", 0))
     report.constraints = int(summary.get("constraints", 0))
+    return _PreparedGuess(
+        guess=guess,
+        report=report,
+        record=record,
+        transformed_job_classes=transformed_job_classes,
+        bag_classes=bag_classes,
+        constants=constants,
+        patterns=patterns,
+        configuration=configuration,
+    )
 
-    solution = solve_configuration_milp(configuration, config=config)
+
+def _complete_guess(
+    instance: Instance,
+    prepared: _PreparedGuess,
+    solution: ConfigurationSolution,
+    *,
+    validate_intermediate: bool = False,
+) -> tuple[Schedule | None, AttemptReport]:
+    """Interpret a solved configuration MILP: placement, repair, revert."""
+    report = prepared.report
+    record = prepared.record
+    transformed = record.transformed
+    transformed_job_classes = prepared.transformed_job_classes
+    bag_classes = prepared.bag_classes
+    constants = prepared.constants
+    patterns = prepared.patterns
+
     report.details["milp_status"] = solution.status.value
+    if "telemetry" in solution.milp_diagnostics:
+        report.details["milp_telemetry"] = solution.milp_diagnostics["telemetry"]
     if not solution.feasible:
         return None, report
 
@@ -158,7 +207,7 @@ def solve_for_guess(
     )
     report.details.update(small_diag.to_dict())
 
-    if config.validate_intermediate:
+    if validate_intermediate:
         placement.schedule.validate(require_complete=False)
 
     repair_diag = resolve_conflicts(
@@ -184,6 +233,144 @@ def solve_for_guess(
     return final, report
 
 
+def solve_for_guess(
+    instance: Instance, guess: float, config: EptasConfig
+) -> tuple[Schedule | None, AttemptReport]:
+    """Run one decision step of the dual approximation.
+
+    Returns a feasible schedule of the *original* instance with makespan at
+    most ``(1 + O(eps)) * guess`` when the configuration MILP admits a
+    solution for the guess, and ``None`` otherwise.
+    """
+    prepared = _prepare_guess(instance, guess, config)
+    solution = solve_configuration_milp(prepared.configuration, config=config)
+    return _complete_guess(
+        instance, prepared, solution, validate_intermediate=config.validate_intermediate
+    )
+
+
+@dataclass(slots=True)
+class _GuessOutcome:
+    """Result of one guess inside a (possibly speculative) search round."""
+
+    guess: float
+    schedule: Schedule | None
+    report: AttemptReport | None
+    limit_error: str | None = None
+    attempt_error: str | None = None
+
+
+def _evaluate_guesses(
+    instance: Instance, guesses: list[float], config: EptasConfig
+) -> list[_GuessOutcome]:
+    """Evaluate a round of independent guesses, batching the MILP solves.
+
+    Preparation (transformation + pattern enumeration + model assembly) runs
+    sequentially in-process; the per-guess configuration MILPs are then
+    submitted as one ``solve_many`` batch, so with a subprocess solver pool
+    installed the expensive solves overlap.  Per-guess errors are captured
+    in the outcome instead of aborting the whole round.
+    """
+    outcomes: dict[float, _GuessOutcome] = {}
+    prepared: list[_PreparedGuess] = []
+    for guess in guesses:
+        try:
+            prepared.append(_prepare_guess(instance, guess, config))
+        except SolverLimitError as exc:
+            outcomes[guess] = _GuessOutcome(
+                guess=guess, schedule=None, report=None, limit_error=str(exc)
+            )
+        except ReproError as exc:
+            outcomes[guess] = _GuessOutcome(
+                guess=guess,
+                schedule=None,
+                report=AttemptReport(guess=guess, feasible=False),
+                attempt_error=str(exc),
+            )
+    # A limit error stops the whole search at that guess, so the caller
+    # discards every larger guess of this round — don't pay for their
+    # (dominant-cost) MILP solves.
+    limit_guesses = [
+        outcome.guess for outcome in outcomes.values() if outcome.limit_error is not None
+    ]
+    if limit_guesses:
+        cutoff = min(limit_guesses)
+        prepared = [item for item in prepared if item.guess < cutoff]
+    solutions = get_solver_service().solve_many(
+        [configuration_solve_request(item.configuration, config) for item in prepared],
+        return_exceptions=True,
+    )
+    for item, raw in zip(prepared, solutions):
+        # Errors raised *during the solve* degrade per guess exactly like
+        # the pre-pool sequential search did: a limit stops the search, any
+        # other library error marks the attempt failed.  Pool infrastructure
+        # failures (server crash after retries, backend bugs wrapped by the
+        # server) and genuine non-library bugs still propagate — they say
+        # nothing about the guess.
+        if isinstance(raw, SolverPoolError):
+            raise raw
+        if isinstance(raw, SolverLimitError):
+            outcomes[item.guess] = _GuessOutcome(
+                guess=item.guess, schedule=None, report=None, limit_error=str(raw)
+            )
+            continue
+        if isinstance(raw, ReproError):
+            outcomes[item.guess] = _GuessOutcome(
+                guess=item.guess,
+                schedule=None,
+                report=AttemptReport(guess=item.guess, feasible=False),
+                attempt_error=str(raw),
+            )
+            continue
+        if isinstance(raw, Exception):
+            raise raw
+        try:
+            solution = interpret_milp_solution(item.configuration, raw)
+            schedule, report = _complete_guess(
+                instance,
+                item,
+                solution,
+                validate_intermediate=config.validate_intermediate,
+            )
+            outcomes[item.guess] = _GuessOutcome(
+                guess=item.guess, schedule=schedule, report=report
+            )
+        except SolverLimitError as exc:
+            outcomes[item.guess] = _GuessOutcome(
+                guess=item.guess, schedule=None, report=None, limit_error=str(exc)
+            )
+        except ReproError as exc:
+            outcomes[item.guess] = _GuessOutcome(
+                guess=item.guess,
+                schedule=None,
+                report=AttemptReport(guess=item.guess, feasible=False),
+                attempt_error=str(exc),
+            )
+    return [outcomes[guess] for guess in guesses if guess in outcomes]
+
+
+def _round_guesses(
+    low: float, high: float, count: int, *, include_low: bool
+) -> list[float]:
+    """Candidate guesses for one search round, ascending and de-duplicated.
+
+    ``count == 1`` reproduces the classic binary search exactly: the lower
+    bound itself on the first round, the geometric midpoint afterwards.
+    Larger counts add geometric quantiles of ``(low, high)`` — the guesses a
+    sequential search would probe next, evaluated speculatively.
+    """
+    guesses: list[float] = [low] if include_low else []
+    subdivisions = count - 1 if include_low else count
+    if high > low:
+        for j in range(1, subdivisions + 1):
+            guesses.append(low * (high / low) ** (j / (subdivisions + 1)))
+    deduped: list[float] = []
+    for guess in sorted(guesses):
+        if not deduped or guess > deduped[-1] * (1 + 1e-15):
+            deduped.append(guess)
+    return deduped
+
+
 def eptas_schedule(
     instance: Instance,
     eps: float = 0.5,
@@ -194,19 +381,7 @@ def eptas_schedule(
     if config is None:
         config = EptasConfig(eps=eps)
     elif config.eps != eps:
-        config = EptasConfig(
-            eps=eps,
-            mode=config.mode,
-            practical_priority_cap=config.practical_priority_cap,
-            max_patterns=config.max_patterns,
-            milp_backend=config.milp_backend,
-            milp_time_limit=config.milp_time_limit,
-            mip_rel_gap=config.mip_rel_gap,
-            max_search_iterations=config.max_search_iterations,
-            binary_search_tol=config.binary_search_tol,
-            validate_intermediate=config.validate_intermediate,
-            use_lp_lower_bound=config.use_lp_lower_bound,
-        )
+        config = replace(config, eps=eps)
     config = config.normalised()
     diagnostics: dict[str, Any] = {}
 
@@ -234,33 +409,50 @@ def eptas_schedule(
         if tolerance is None:
             tolerance = config.eps / 8
         iterations = 0
+        # Speculative width: with a subprocess solver pool installed, each
+        # round evaluates several guesses whose MILPs overlap on the
+        # servers; without one the classic sequential search is preserved.
+        round_width = max(1, config.speculative_guesses)
+        if round_width > 1:
+            round_width = min(round_width, max(1, get_solver_service().concurrency))
         # Always test the lower bound itself first: on many instances the
         # optimum equals the bound and a single MILP solve finishes the job.
         pending_first = True
-        while iterations < config.max_search_iterations and (
-            pending_first or high / low > 1.0 + tolerance
+        stop_search = False
+        while (
+            not stop_search
+            and iterations < config.max_search_iterations
+            and (pending_first or high / low > 1.0 + tolerance)
         ):
-            iterations += 1
-            guess = low if pending_first else math.sqrt(low * high)
+            width = min(round_width, config.max_search_iterations - iterations)
+            guesses = _round_guesses(low, high, width, include_low=pending_first)
+            if not guesses:
+                guesses = [math.sqrt(low * high)]
             pending_first = False
-            try:
-                schedule, report = solve_for_guess(instance, guess, config)
-            except SolverLimitError as exc:
-                diagnostics.setdefault("limit_errors", []).append(str(exc))
-                break
-            except ReproError as exc:
-                diagnostics.setdefault("attempt_errors", []).append(str(exc))
-                schedule, report = None, AttemptReport(guess=guess, feasible=False)
-            attempts.append(report.to_dict())
-            if schedule is not None:
-                if schedule.makespan() < best_makespan - 1e-12:
-                    best_schedule = schedule
-                    best_makespan = schedule.makespan()
-                high = min(high, guess)
-                if guess <= low * (1.0 + 1e-12):
+            iterations += len(guesses)
+            for outcome in _evaluate_guesses(instance, guesses, config):
+                if outcome.limit_error is not None:
+                    diagnostics.setdefault("limit_errors", []).append(outcome.limit_error)
+                    stop_search = True
                     break
-            else:
-                low = max(low * (1 + 1e-9), guess)
+                if outcome.attempt_error is not None:
+                    diagnostics.setdefault("attempt_errors", []).append(
+                        outcome.attempt_error
+                    )
+                attempts.append(outcome.report.to_dict())
+                if outcome.schedule is not None:
+                    if outcome.schedule.makespan() < best_makespan - 1e-12:
+                        best_schedule = outcome.schedule
+                        best_makespan = outcome.schedule.makespan()
+                    high = min(high, outcome.guess)
+                    if outcome.guess <= low * (1.0 + 1e-12):
+                        stop_search = True
+                        break
+                elif outcome.guess < high:
+                    # An infeasible guess above an already-confirmed feasible
+                    # one contradicts monotonicity (solver noise/limits);
+                    # never let it push the bracket inside-out.
+                    low = max(low * (1 + 1e-9), outcome.guess)
 
         diagnostics["search_iterations"] = iterations
         diagnostics["attempts"] = attempts

@@ -21,7 +21,7 @@ budget grow astronomically for realistic ``eps`` (this is exactly the point
 of experiment E7), so the practical mode clamps ``b'`` at a configurable cap.
 Clamping only moves bags from the priority group to the non-priority group;
 all feasibility-repair machinery still runs, and the final schedule is always
-validated (see DESIGN.md §4 for the substitution argument).
+validated.
 """
 
 from __future__ import annotations
@@ -30,6 +30,8 @@ import enum
 import math
 from dataclasses import dataclass, field, replace
 from typing import Any
+
+from ..solver.registry import BackendSpec
 
 __all__ = [
     "ConstantsMode",
@@ -80,7 +82,17 @@ class EptasConfig:
         Hard limit on the number of enumerated machine configurations; the
         driver raises :class:`~repro.core.errors.SolverLimitError` beyond it.
     milp_backend / milp_time_limit / mip_rel_gap:
-        Passed to :func:`repro.milp.solve_model`.
+        Passed to the :class:`repro.solver.SolverService`.  ``milp_backend``
+        accepts a backend name or a :class:`repro.solver.BackendSpec` and is
+        validated against the backend registry *at construction*, so an
+        unknown backend fails immediately instead of deep inside the first
+        solve after transformation work has already been spent.
+    speculative_guesses:
+        When > 1 and a subprocess solver pool is installed
+        (:func:`repro.solver.pooled_service_scope`), each binary-search step
+        evaluates up to this many candidate makespan guesses concurrently:
+        the per-guess configuration MILPs are batched through
+        ``SolverService.solve_many`` and overlap on the solver servers.
     max_search_iterations:
         Cap on the dual-approximation binary search length.
     binary_search_tol:
@@ -96,13 +108,30 @@ class EptasConfig:
     mode: ConstantsMode = ConstantsMode.PRACTICAL
     practical_priority_cap: int = 3
     max_patterns: int = 50_000
-    milp_backend: str = "scipy"
+    milp_backend: str | BackendSpec = "scipy"
     milp_time_limit: float | None = 60.0
     mip_rel_gap: float = 0.0
+    speculative_guesses: int = 1
     max_search_iterations: int = 40
     binary_search_tol: float | None = None
     validate_intermediate: bool = False
     use_lp_lower_bound: bool = False
+
+    def __post_init__(self) -> None:
+        # Fail fast: coerce + validate the backend spec against the registry
+        # now, not inside the first solve (the dataclass is frozen, hence
+        # object.__setattr__).
+        object.__setattr__(self, "milp_backend", BackendSpec.coerce(self.milp_backend))
+        if self.speculative_guesses < 1:
+            raise ValueError(
+                f"speculative_guesses must be >= 1, got {self.speculative_guesses}"
+            )
+
+    @property
+    def backend_spec(self) -> BackendSpec:
+        """The validated backend spec (``milp_backend`` after coercion)."""
+        assert isinstance(self.milp_backend, BackendSpec)
+        return self.milp_backend
 
     def normalised(self) -> "EptasConfig":
         """Return a copy with ``eps`` normalised so ``1/eps`` is integral."""
@@ -114,9 +143,10 @@ class EptasConfig:
             "mode": self.mode.value,
             "practical_priority_cap": self.practical_priority_cap,
             "max_patterns": self.max_patterns,
-            "milp_backend": self.milp_backend,
+            "milp_backend": self.backend_spec.to_dict(),
             "milp_time_limit": self.milp_time_limit,
             "mip_rel_gap": self.mip_rel_gap,
+            "speculative_guesses": self.speculative_guesses,
             "max_search_iterations": self.max_search_iterations,
         }
 

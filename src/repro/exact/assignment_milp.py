@@ -20,19 +20,43 @@ from ..core.errors import InfeasibleModelError
 from ..core.instance import Instance
 from ..core.result import SolverResult, timed_solver_result
 from ..core.schedule import Schedule
-from ..milp import LinearModel, SolutionStatus, solve_model
+from ..milp import LinearModel, SolutionStatus
+from ..solver import BackendSpec, get_solver_service
 
-__all__ = ["ExactMilpConfig", "exact_milp_schedule", "build_assignment_model"]
+__all__ = [
+    "ExactConfig",
+    "ExactMilpConfig",
+    "exact_milp_schedule",
+    "build_assignment_model",
+]
 
 
 @dataclass(frozen=True, slots=True)
 class ExactMilpConfig:
-    """Options of the exact assignment MILP."""
+    """Options of the exact assignment MILP.
 
-    backend: str = "scipy"
+    ``backend`` accepts a registered backend name or a
+    :class:`repro.solver.BackendSpec`; it is validated at construction so an
+    unknown backend fails before any model is built.
+    """
+
+    backend: str | BackendSpec = "scipy"
     time_limit: float | None = 120.0
     symmetry_breaking: bool = True
     mip_rel_gap: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backend", BackendSpec.coerce(self.backend))
+
+    @property
+    def backend_spec(self) -> BackendSpec:
+        assert isinstance(self.backend, BackendSpec)
+        return self.backend
+
+
+# The name the solver-service layer (and the issue tracker) uses; the
+# historical ``ExactMilpConfig`` stays as the canonical definition.
+ExactConfig = ExactMilpConfig
 
 
 def build_assignment_model(
@@ -93,13 +117,15 @@ def exact_milp_schedule(
             instance, symmetry_breaking=config.symmetry_breaking
         )
         diagnostics.update(model.summary())
-        solution = solve_model(
+        solution = get_solver_service().solve(
             model,
-            backend=config.backend,
+            spec=config.backend_spec,
             time_limit=config.time_limit,
             mip_rel_gap=config.mip_rel_gap,
         )
         diagnostics["milp_status"] = solution.status.value
+        if solution.telemetry is not None:
+            diagnostics["milp_telemetry"] = solution.telemetry.to_dict()
         if solution.status not in (SolutionStatus.OPTIMAL, SolutionStatus.FEASIBLE):
             raise InfeasibleModelError(
                 f"exact MILP for {instance.name!r} returned status {solution.status.value}"
@@ -124,7 +150,7 @@ def exact_milp_schedule(
         "exact-milp",
         build,
         params={
-            "backend": config.backend,
+            "backend": config.backend_spec.to_dict(),
             "symmetry_breaking": config.symmetry_breaking,
         },
         diagnostics=diagnostics,

@@ -2,14 +2,17 @@
 
 The paper's EPTAS solves a configuration MILP with a constant number of
 integral variables using the Kannan/Lenstra fixed-dimension algorithm.  This
-package substitutes two interchangeable exact oracles (see DESIGN.md §4):
+package substitutes two interchangeable exact oracles:
 
 * :func:`repro.milp.scipy_backend.solve_with_scipy` — HiGHS via scipy.
 * :func:`repro.milp.branch_and_bound.solve_with_branch_and_bound` — a
   from-scratch LP-based branch and bound.
 
-:func:`solve_model` picks a backend by name and is the single entry point
-used by the algorithms.
+Backend selection, validation and dispatch live in :mod:`repro.solver`
+(see ``docs/solver-backends.md``): backends register against a pluggable
+registry, and every solve flows through the :class:`repro.solver.SolverService`
+facade — optionally onto an async subprocess solver pool.
+:func:`solve_model` remains as a thin convenience shim over that service.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from .model import (
     MilpSolution,
     Sense,
     SolutionStatus,
+    SolveTelemetry,
     Variable,
     VarType,
 )
@@ -35,6 +39,7 @@ __all__ = [
     "MilpSolution",
     "Sense",
     "SolutionStatus",
+    "SolveTelemetry",
     "VarType",
     "Variable",
     "solve_lp_relaxation",
@@ -47,23 +52,31 @@ __all__ = [
 def solve_model(
     model: LinearModel | CompiledModel,
     *,
-    backend: str = "scipy",
+    backend: "str | object" = "scipy",
     time_limit: float | None = None,
     mip_rel_gap: float = 0.0,
     bnb_config: BranchAndBoundConfig | None = None,
 ) -> MilpSolution:
-    """Solve a model with the chosen backend.
+    """Solve a model through the current :class:`repro.solver.SolverService`.
 
     Parameters
     ----------
     backend:
-        ``"scipy"`` (default, HiGHS), ``"bnb"`` (own branch and bound), or
-        ``"lp"`` (LP relaxation only — used for bounds and diagnostics).
+        A backend name registered with :func:`repro.solver.register_backend`
+        (builtin: ``"scipy"`` — HiGHS, the default —, ``"bnb"`` — own branch
+        and bound —, ``"lp"`` — LP relaxation only) or a full
+        :class:`repro.solver.BackendSpec`.
+    bnb_config:
+        Legacy convenience: folded into the spec's options for the ``bnb``
+        backend.
     """
-    if backend == "scipy":
-        return solve_with_scipy(model, time_limit=time_limit, mip_rel_gap=mip_rel_gap)
-    if backend == "bnb":
-        return solve_with_branch_and_bound(model, bnb_config)
-    if backend == "lp":
-        return solve_lp_relaxation(model)
-    raise ValueError(f"unknown MILP backend {backend!r}; expected 'scipy', 'bnb' or 'lp'")
+    from dataclasses import asdict
+
+    from ..solver import BackendSpec, get_solver_service
+
+    spec = BackendSpec.coerce(backend)
+    if bnb_config is not None and spec.name == "bnb":
+        spec = spec.with_options(**asdict(bnb_config))
+    return get_solver_service().solve(
+        model, spec=spec, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+    )

@@ -32,6 +32,7 @@ __all__ = [
     "CompiledModel",
     "MilpSolution",
     "SolutionStatus",
+    "SolveTelemetry",
 ]
 
 
@@ -117,6 +118,35 @@ class CompiledModel:
 
 
 @dataclass(slots=True)
+class SolveTelemetry:
+    """Uniform per-solve telemetry attached by the solver service.
+
+    Every solve that goes through :class:`repro.solver.SolverService` —
+    inline or pooled — carries one of these: wall time, terminal status,
+    the backend *fingerprint* (name + version + option digest, the cache
+    identity from the registry), whether the solve ran on a subprocess
+    solver server, and that server's pid when it did.
+    """
+
+    backend: str
+    fingerprint: str
+    wall_time: float
+    status: str
+    pooled: bool = False
+    server_pid: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "fingerprint": self.fingerprint,
+            "wall_time": self.wall_time,
+            "status": self.status,
+            "pooled": self.pooled,
+            "server_pid": self.server_pid,
+        }
+
+
+@dataclass(slots=True)
 class MilpSolution:
     """Solution of a (MI)LP model."""
 
@@ -124,6 +154,7 @@ class MilpSolution:
     objective: float
     values: dict[str, float] = field(default_factory=dict)
     diagnostics: dict[str, Any] = field(default_factory=dict)
+    telemetry: SolveTelemetry | None = None
 
     @property
     def is_feasible(self) -> bool:

@@ -1,9 +1,13 @@
 """Content-hash result caching for solver invocations.
 
-A solver call is identified by ``(instance digest, solver name, config)``:
-the digest covers the job multiset (ids, sizes, bags) and the machine count —
-*not* the instance name, so renamed but identical instances share cache
-entries.  Payloads are small JSON summaries (makespan, wall time, optimality
+A solver call is identified by ``(instance digest, solver name, config,
+backend fingerprint)``: the digest covers the job multiset (ids, sizes,
+bags) and the machine count — *not* the instance name, so renamed but
+identical instances share cache entries.  For solvers that go through the
+MILP service, callers pass the :class:`repro.solver.BackendSpec` and the
+key includes the registry-emitted fingerprint (backend name + version +
+option digest), so a scipy upgrade or a solver-option change never reuses
+stale cached results.  Payloads are small JSON summaries (makespan, wall time, optimality
 flag, diagnostics, optional solver-specific extras) — never full schedules —
 so the cache stays cheap to read even on slow disks.
 
@@ -60,10 +64,27 @@ def instance_digest(instance: Instance) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def cache_key(instance: Instance, solver: str, config: Mapping[str, Any] | None = None) -> str:
-    """Cache key for one solver invocation on one instance."""
+def cache_key(
+    instance: Instance,
+    solver: str,
+    config: Mapping[str, Any] | None = None,
+    *,
+    backend: "str | Any | None" = None,
+) -> str:
+    """Cache key for one solver invocation on one instance.
+
+    ``backend`` (a name or :class:`repro.solver.BackendSpec`) adds the
+    registry fingerprint to the key for MILP-backed solvers; combinatorial
+    solvers (LPT, greedy, …) omit it so their entries survive backend
+    upgrades they cannot be affected by.
+    """
     config_blob = json.dumps(_to_jsonable(config or {}), sort_keys=True, separators=(",", ":"))
-    blob = f"{instance_digest(instance)}\x00{solver}\x00{config_blob}".encode()
+    fingerprint = ""
+    if backend is not None:
+        from ..solver import BackendSpec, backend_fingerprint
+
+        fingerprint = backend_fingerprint(BackendSpec.coerce(backend))
+    blob = f"{instance_digest(instance)}\x00{solver}\x00{config_blob}\x00{fingerprint}".encode()
     return hashlib.sha256(blob).hexdigest()
 
 
@@ -147,17 +168,20 @@ def cached_solve(
     compute: Callable[[], SolverResult],
     *,
     config: Mapping[str, Any] | None = None,
+    backend: "str | Any | None" = None,
     extra: Callable[[SolverResult], Mapping[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """Run ``compute`` through the cache; returns the JSON summary payload.
 
+    ``backend`` names the MILP backend spec the solver will use (when it
+    uses one); it folds the registry fingerprint into the cache key.
     ``extra`` extracts additional JSON-able fields from the
     :class:`SolverResult` (e.g. residual conflict counts) which are persisted
     alongside the standard summary, so cache hits reproduce them too.  The
     returned payload carries a ``cache_hit`` flag for reporting.
     """
     global _memo_hits
-    key = cache_key(instance, solver, config)
+    key = cache_key(instance, solver, config, backend=backend)
     hit = _memo.get(key)
     if hit is not None:
         _memo_hits += 1

@@ -78,6 +78,38 @@ def to_latex(table: ExperimentTable) -> str:
     return "\n".join(lines)
 
 
+def _solver_telemetry_note(done_rows: list[Any]) -> str | None:
+    """Aggregate per-cell ``_solver_telemetry`` payloads into one table note.
+
+    The runner attaches a solver-service stats delta (solve count, wall
+    time, backend-fingerprint histogram, pooled-solve count) to every
+    completed cell; the export rolls them up so a table shows where its
+    MILP time went and exactly which backend builds produced it.
+    """
+    solves = 0
+    pooled = 0
+    wall_time = 0.0
+    backends: dict[str, int] = {}
+    for row in done_rows:
+        payload = (row.result or {}).get("_solver_telemetry")
+        if not isinstance(payload, dict):
+            continue
+        solves += int(payload.get("solves", 0))
+        pooled += int(payload.get("pooled_solves", 0))
+        wall_time += float(payload.get("wall_time", 0.0))
+        for fingerprint, count in (payload.get("backends") or {}).items():
+            backends[fingerprint] = backends.get(fingerprint, 0) + int(count)
+    if not solves:
+        return None
+    backend_text = ", ".join(
+        f"{fingerprint} x{count}" for fingerprint, count in sorted(backends.items())
+    )
+    return (
+        f"solver telemetry: {solves} MILP solves ({pooled} pooled), "
+        f"{wall_time:.2f}s solver wall time; backends: {backend_text}"
+    )
+
+
 def table_from_store(
     store: ExperimentStore,
     experiment: str,
@@ -114,6 +146,9 @@ def table_from_store(
             f"{variant} grid (seed={seed}); run `repro orch run` to completion first"
         )
     table = registry.assemble_table(spec, [(row.params, row.result) for row in done])
+    telemetry_note = _solver_telemetry_note(done)
+    if telemetry_note:
+        table.add_note(telemetry_note)
     if missing:
         # Never let a partially-run grid masquerade as a finished experiment:
         # reduced columns (means over seeds) would silently cover a subset.

@@ -27,6 +27,7 @@ from ..baselines import (
     local_search_schedule,
     lpt_schedule,
 )
+from ..baselines.das_wiese import DasWieseConfig
 from ..bounds import combined_lower_bound
 from ..core.instance import Instance
 from ..core.result import SolverResult
@@ -46,7 +47,7 @@ from ..eptas import (
     theory_constants_report,
     transform_instance,
 )
-from ..exact import exact_milp_schedule
+from ..exact import ExactMilpConfig, exact_milp_schedule
 from ..generators import (
     bag_heavy_instance,
     clustered_sizes_instance,
@@ -64,7 +65,13 @@ __all__ = ["BUILTIN_SPECS"]
 
 def _exact_optimum(instance: Instance) -> float:
     """Exact optimum through the result cache (the most expensive sub-call)."""
-    payload = cached_solve(instance, "exact-milp", lambda: exact_milp_schedule(instance))
+    config = ExactMilpConfig()
+    payload = cached_solve(
+        instance,
+        "exact-milp",
+        lambda: exact_milp_schedule(instance, config=config),
+        backend=config.backend_spec,
+    )
     return float(payload["makespan"])
 
 
@@ -115,11 +122,13 @@ def cell_e1(*, machines: int, seed: int) -> dict[str, Any]:
     naive = cached_solve(instance, "first-fit", lambda: first_fit_schedule(instance))
     greedy = cached_solve(instance, "greedy-list", lambda: greedy_schedule(instance))
     lpt = cached_solve(instance, "lpt", lambda: lpt_schedule(instance))
+    eptas_config = EptasConfig(eps=0.25)
     eptas = cached_solve(
         instance,
         "eptas",
-        lambda: eptas_schedule(instance, eps=0.25),
+        lambda: eptas_schedule(instance, eps=0.25, config=eptas_config),
         config={"eps": 0.25},
+        backend=eptas_config.backend_spec,
     )
     if generated.known_optimum is not None:
         optimum = generated.known_optimum
@@ -141,16 +150,30 @@ def cell_e1(*, machines: int, seed: int) -> dict[str, Any]:
 _E2_EPS_VALUES = (0.5, 0.25)
 
 
-def _e2_solvers() -> dict[str, Callable[[Instance], SolverResult]]:
-    solvers: dict[str, Callable[[Instance], SolverResult]] = {
-        "greedy_list": greedy_schedule,
-        "lpt": lpt_schedule,
-        "lpt+local_search": local_search_schedule,
-        "coloring": coloring_schedule,
-        "das_wiese(0.25)": lambda inst: das_wiese_schedule(inst, eps=0.25),
+def _e2_solvers() -> dict[str, tuple[Callable[[Instance], SolverResult], Any]]:
+    """E2's solver roster: name -> (callable, backend spec or None).
+
+    MILP-backed entries carry the backend spec of the config they actually
+    solve with, so their cache keys stay coupled to the real backend (a
+    backend or option change can never serve a stale cached ratio).
+    """
+    das_config = DasWieseConfig(eps=0.25)
+    solvers: dict[str, tuple[Callable[[Instance], SolverResult], Any]] = {
+        "greedy_list": (greedy_schedule, None),
+        "lpt": (lpt_schedule, None),
+        "lpt+local_search": (local_search_schedule, None),
+        "coloring": (coloring_schedule, None),
+        "das_wiese(0.25)": (
+            lambda inst: das_wiese_schedule(inst, eps=0.25, config=das_config),
+            das_config.backend_spec,
+        ),
     }
     for eps in _E2_EPS_VALUES:
-        solvers[f"eptas({eps:g})"] = lambda inst, eps=eps: eptas_schedule(inst, eps=eps)
+        eptas_config = EptasConfig(eps=eps)
+        solvers[f"eptas({eps:g})"] = (
+            lambda inst, eps=eps, cfg=eptas_config: eptas_schedule(inst, eps=eps, config=cfg),
+            eptas_config.backend_spec,
+        )
     return solvers
 
 
@@ -194,8 +217,13 @@ def cell_e2(
     instance = _e2_instance(family, seed, num_jobs, num_machines, num_bags)
     optimum = _exact_optimum(instance)
     ratios: dict[str, float] = {}
-    for name, solver in _e2_solvers().items():
-        payload = cached_solve(instance, name, lambda solver=solver: solver(instance))
+    for name, (solver, backend_spec) in _e2_solvers().items():
+        payload = cached_solve(
+            instance,
+            name,
+            lambda solver=solver: solver(instance),
+            backend=backend_spec,
+        )
         ratios[name] = payload["makespan"] / optimum
     return {"family": family, **ratios}
 
@@ -478,6 +506,7 @@ def cell_e8(*, family: str, seed: int) -> dict[str, Any]:
         "eptas",
         lambda: eptas_schedule(instance, eps=0.25, config=config),
         config={"eps": 0.25, "practical_priority_cap": 1},
+        backend=config.backend_spec,
         extra=lambda result: {"residual_conflicts": result.schedule.num_conflicts()},
     )
     diagnostics = payload["diagnostics"]

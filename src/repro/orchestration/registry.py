@@ -109,7 +109,12 @@ def assemble_table(spec: ExperimentSpec, cells: Sequence[CellPair]) -> Experimen
     if spec.reduce_rows is not None:
         rows = spec.reduce_rows(list(cells))
     else:
-        rows = [result for _, result in cells]
+        # Underscore-prefixed keys are runner-attached metadata (e.g. the
+        # per-cell solver telemetry), not experiment columns.
+        rows = [
+            {key: value for key, value in result.items() if not key.startswith("_")}
+            for _, result in cells
+        ]
     table.add_rows(rows)
     for note in spec.notes:
         table.add_note(note)

@@ -13,6 +13,14 @@ Crash safety: a worker killed mid-cell leaves its row ``running``.  The next
 :func:`run_pool` invocation calls ``reclaim_stale`` before spawning workers,
 so interrupted rows are re-executed while ``done`` rows are never touched —
 that is the resume path.
+
+Solver servers: with ``solver_servers > 0`` each worker process installs a
+shared :class:`repro.solver.SolverPool` of that many subprocess solver
+servers around its claim–execute loop, so the MILP solves inside a cell can
+overlap instead of blocking the worker (``repro orch run --solver-servers
+N``).  The per-cell solver telemetry delta (solve count, wall time, backend
+fingerprints) is attached to every result under ``_solver_telemetry`` and
+surfaced by ``repro orch export``.
 """
 
 from __future__ import annotations
@@ -24,11 +32,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..solver import get_solver_service, pooled_service_scope
 from . import registry
 from .cache import cache_scope
 from .store import ExperimentStore
 
 __all__ = ["RunReport", "populate", "run_pool", "run_worker"]
+
+SOLVER_TELEMETRY_KEY = "_solver_telemetry"
 
 
 @dataclass(slots=True)
@@ -73,20 +84,29 @@ def run_worker(
     worker_tag: str,
     *,
     use_cache: bool = True,
+    solver_servers: int = 0,
 ) -> RunReport:
-    """Claim-execute-writeback loop of a single worker (also used inline)."""
+    """Claim-execute-writeback loop of a single worker (also used inline).
+
+    ``solver_servers > 0`` installs a shared subprocess solver pool for the
+    lifetime of the loop: every MILP solved by any cell this worker executes
+    goes through the same pool of long-lived solver servers.
+    """
     report = RunReport(worker_tags=[worker_tag])
     # cache_scope (not activate_cache) so the inline workers=1 path does not
     # leave the process-global cache pointed at this store after returning;
     # a None path pins the persistent layer (and its env fallback) off, so
     # use_cache=False cannot be overridden by REPRO_CACHE_DB.
-    with cache_scope(db_path if use_cache else None), ExperimentStore(db_path) as store:
+    with cache_scope(db_path if use_cache else None), ExperimentStore(
+        db_path
+    ) as store, pooled_service_scope(solver_servers) as solver_service:
         while True:
             claimed = store.claim_next(worker_tag, experiments)
             if claimed is None:
                 break
             report.claimed += 1
             start = time.perf_counter()
+            solver_before = solver_service.stats()
             try:
                 result = registry.execute_cell(claimed.experiment, claimed.params)
             except Exception:
@@ -98,6 +118,9 @@ def run_worker(
                 )
                 report.errors += 1
             else:
+                delta = solver_service.stats_delta(solver_before)
+                if delta["solves"]:
+                    result = {**result, SOLVER_TELEMETRY_KEY: delta}
                 store.complete(
                     claimed.id,
                     result,
@@ -118,6 +141,7 @@ def run_pool(
     do_populate: bool | None = None,
     stale_after: float = 600.0,
     use_cache: bool = True,
+    solver_servers: int = 0,
 ) -> RunReport:
     """Populate (optionally), reclaim stale rows, then drain with a worker pool.
 
@@ -129,6 +153,8 @@ def run_pool(
     ``stale_after`` is the age in seconds beyond which a ``running`` row is
     considered orphaned by a dead worker and reclaimed; pass ``0`` to
     reclaim all running rows (safe when no other runner shares the file).
+    ``solver_servers`` gives every worker its own pool of that many
+    subprocess solver servers (0 = inline solves, the default).
     """
     db_path = str(db_path)
     start = time.perf_counter()
@@ -148,12 +174,25 @@ def run_pool(
     if pending > 0:
         pid = os.getpid()
         if report.workers == 1:
-            report.merge(run_worker(db_path, names, f"w0.{pid}", use_cache=use_cache))
+            report.merge(
+                run_worker(
+                    db_path,
+                    names,
+                    f"w0.{pid}",
+                    use_cache=use_cache,
+                    solver_servers=solver_servers,
+                )
+            )
         else:
             with ProcessPoolExecutor(max_workers=report.workers) as pool:
                 futures = [
                     pool.submit(
-                        run_worker, db_path, names, f"w{i}.{pid}", use_cache=use_cache
+                        run_worker,
+                        db_path,
+                        names,
+                        f"w{i}.{pid}",
+                        use_cache=use_cache,
+                        solver_servers=solver_servers,
                     )
                     for i in range(report.workers)
                 ]

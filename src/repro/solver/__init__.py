@@ -1,0 +1,68 @@
+"""Pluggable solver service layer (see docs/solver-backends.md).
+
+Three pieces:
+
+* :mod:`repro.solver.registry` — the :class:`SolverBackend` protocol, the
+  process-global backend registry (``register_backend`` /
+  ``resolve_backend``) and validated :class:`BackendSpec` references with
+  cache fingerprints.
+* :mod:`repro.solver.pool` — an async subprocess solver pool: N long-lived
+  solver server processes behind a futures ``submit()`` / ``solve_many()``
+  API with per-solve hard timeouts, cancellation and crash-recovery
+  restarts.
+* :mod:`repro.solver.service` — the :class:`SolverService` facade the whole
+  repository calls through; attaches uniform telemetry to every solution
+  and routes batches onto the pool when one is installed
+  (:func:`pooled_service_scope`).
+
+:func:`repro.milp.solve_model` is a thin shim over this package; no other
+call site dispatches on raw backend strings.
+"""
+
+from __future__ import annotations
+
+from .pool import (
+    PoolStats,
+    SolveRequest,
+    SolverBackendError,
+    SolverPool,
+    SolverPoolError,
+    SolverPoolTimeoutError,
+    SolverServerCrashError,
+)
+from .registry import (
+    BackendSpec,
+    SolverBackend,
+    available_backends,
+    backend_fingerprint,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from .service import (
+    SolverService,
+    get_solver_service,
+    pooled_service_scope,
+    service_scope,
+)
+
+__all__ = [
+    "BackendSpec",
+    "PoolStats",
+    "SolveRequest",
+    "SolverBackend",
+    "SolverBackendError",
+    "SolverPool",
+    "SolverPoolError",
+    "SolverPoolTimeoutError",
+    "SolverServerCrashError",
+    "SolverService",
+    "available_backends",
+    "backend_fingerprint",
+    "get_solver_service",
+    "pooled_service_scope",
+    "register_backend",
+    "resolve_backend",
+    "service_scope",
+    "unregister_backend",
+]

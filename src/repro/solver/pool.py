@@ -1,0 +1,525 @@
+"""Async subprocess solver pool: long-lived solver servers + futures API.
+
+A :class:`SolverPool` owns ``N`` long-lived *solver server* processes, each
+running :func:`_server_main`: a loop that receives compiled models over a
+pipe, solves them with the registered backend, and sends the solution back.
+The client side exposes a futures-based API:
+
+* :meth:`SolverPool.submit` — enqueue one solve, get a
+  :class:`concurrent.futures.Future` immediately;
+* :meth:`SolverPool.solve_many` — submit a batch and gather the results in
+  submission order, so ``k`` independent MILPs overlap across the servers
+  instead of serialising in one process.
+
+Reliability model
+-----------------
+* **Crash recovery** — a server that dies mid-solve (segfault, ``os._exit``,
+  OOM kill) is detected via its process sentinel, restarted, and the
+  in-flight request is retried on the fresh server up to ``max_retries``
+  times; past that the request's future fails with
+  :class:`SolverServerCrashError`.  Other requests are unaffected.
+* **Per-solve hard timeout** — each request carries a wall-clock deadline
+  (``hard_timeout``, defaulting to ``time_limit + grace`` when a backend
+  time limit is set).  A server that blows the deadline is killed and
+  restarted and the future fails with :class:`SolverPoolTimeoutError`; the
+  pool itself stays healthy, so a timeout never poisons later solves.
+
+Servers are started with the ``fork`` start method when available so they
+inherit the parent's registered backends (including test doubles); under
+``spawn`` an ``initializer`` callable can re-register custom backends.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.errors import ReproError
+from ..milp.model import CompiledModel, LinearModel, MilpSolution
+from .registry import BackendSpec, resolve_backend
+
+__all__ = [
+    "PoolStats",
+    "SolveRequest",
+    "SolverBackendError",
+    "SolverPool",
+    "SolverPoolError",
+    "SolverPoolTimeoutError",
+    "SolverServerCrashError",
+]
+
+_POLL_INTERVAL = 0.05
+DEFAULT_TIMEOUT_GRACE = 10.0
+
+
+class SolverPoolError(ReproError):
+    """Base class for solver-pool infrastructure failures."""
+
+
+class SolverServerCrashError(SolverPoolError):
+    """A solver server died while working on the request (after retries)."""
+
+
+class SolverPoolTimeoutError(SolverPoolError):
+    """The request exceeded its hard wall-clock deadline and was cancelled."""
+
+
+class SolverBackendError(SolverPoolError):
+    """The backend raised inside the server; carries the remote traceback."""
+
+
+@dataclass(frozen=True, slots=True)
+class SolveRequest:
+    """One unit of work for :meth:`SolverPool.solve_many` / the service."""
+
+    model: LinearModel | CompiledModel
+    spec: BackendSpec | str = "scipy"
+    time_limit: float | None = None
+    mip_rel_gap: float = 0.0
+    hard_timeout: float | None = None
+    tag: str | None = None
+
+
+@dataclass(slots=True)
+class PoolStats:
+    """Counters exposed by :meth:`SolverPool.stats`."""
+
+    submitted: int = 0
+    completed: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    timeouts: int = 0
+    retries: int = 0
+
+
+@dataclass(slots=True)
+class _PendingSolve:
+    request_id: int
+    payload: tuple[CompiledModel, str, dict[str, Any], float | None, float]
+    hard_timeout: float | None
+    future: Future
+    attempts: int = 0
+    dispatched_at: float = 0.0
+    started: bool = False
+
+
+@dataclass(slots=True)
+class _Server:
+    index: int
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    current: _PendingSolve | None = None
+    generation: int = 0
+
+
+def _server_main(conn: Connection, initializer: Callable[[], None] | None) -> None:
+    """Body of one solver server process: recv → solve → send, forever."""
+    if initializer is not None:
+        initializer()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "exit":
+            return
+        if kind == "ping":
+            conn.send(("pong", os.getpid()))
+            continue
+        request_id, (model, backend_name, options, time_limit, mip_rel_gap) = message[1], message[2]
+        try:
+            backend = resolve_backend(backend_name)
+            started = time.perf_counter()
+            solution = backend.solve(
+                model,
+                time_limit=time_limit,
+                mip_rel_gap=mip_rel_gap,
+                options=options,
+            )
+            conn.send((request_id, "ok", solution, time.perf_counter() - started, os.getpid()))
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            # Ship the exception object itself when it pickles, so library
+            # errors (SolverLimitError & co.) keep their type on the client
+            # and callers' isinstance-based fallback logic works identically
+            # for inline and pooled solves.
+            remote_traceback = traceback.format_exc()
+            try:
+                pickle.dumps(exc)
+            except Exception:  # noqa: BLE001 — unpicklable: degrade to text
+                conn.send(
+                    (
+                        request_id,
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                        remote_traceback,
+                    )
+                )
+            else:
+                conn.send((request_id, "raise", exc, remote_traceback))
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class SolverPool:
+    """N long-lived solver server subprocesses behind a futures API."""
+
+    def __init__(
+        self,
+        num_servers: int = 2,
+        *,
+        max_retries: int = 1,
+        timeout_grace: float = DEFAULT_TIMEOUT_GRACE,
+        default_hard_timeout: float | None = None,
+        mp_context: str | None = None,
+        initializer: Callable[[], None] | None = None,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        self.num_servers = int(num_servers)
+        self.max_retries = int(max_retries)
+        self.timeout_grace = float(timeout_grace)
+        self.default_hard_timeout = default_hard_timeout
+        self._initializer = initializer
+        self._ctx = (
+            multiprocessing.get_context(mp_context) if mp_context else _default_context()
+        )
+        self._lock = threading.Lock()
+        self._queue: deque[_PendingSolve] = deque()
+        self._request_ids = itertools.count(1)
+        self._stats = PoolStats()
+        self._closed = False
+        self._servers: list[_Server] = [self._start_server(i) for i in range(self.num_servers)]
+        self._wake_r, self._wake_w = multiprocessing.Pipe(duplex=False)
+        self._manager = threading.Thread(
+            target=self._manage, name="solver-pool-manager", daemon=True
+        )
+        self._manager.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model: LinearModel | CompiledModel,
+        *,
+        spec: BackendSpec | str = "scipy",
+        time_limit: float | None = None,
+        mip_rel_gap: float = 0.0,
+        hard_timeout: float | None = None,
+    ) -> Future:
+        """Enqueue one solve; returns a future resolving to a MilpSolution.
+
+        The future's result carries the server-side wall time and pid in
+        ``future.result().diagnostics`` (the service layer turns these into
+        uniform telemetry).  Failure modes: :class:`SolverServerCrashError`,
+        :class:`SolverPoolTimeoutError`, :class:`SolverBackendError`.
+        """
+        backend_spec = BackendSpec.coerce(spec)
+        compiled = model.compile() if isinstance(model, LinearModel) else model
+        if hard_timeout is None:
+            if time_limit is not None:
+                hard_timeout = float(time_limit) + self.timeout_grace
+            else:
+                hard_timeout = self.default_hard_timeout
+        pending = _PendingSolve(
+            request_id=next(self._request_ids),
+            payload=(
+                compiled,
+                backend_spec.name,
+                backend_spec.options_dict(),
+                time_limit,
+                float(mip_rel_gap),
+            ),
+            hard_timeout=hard_timeout,
+            future=Future(),
+        )
+        with self._lock:
+            # Checked under the lock: a submit racing close() must either
+            # enqueue before the queue is drained or fail here — never park
+            # a request on a dead queue where its future would hang forever.
+            if self._closed:
+                raise SolverPoolError("pool is closed")
+            self._stats.submitted += 1
+            self._queue.append(pending)
+        self._wake()
+        return pending.future
+
+    def solve_many(self, requests: Sequence[SolveRequest]) -> list[MilpSolution]:
+        """Solve a batch concurrently; results come back in request order.
+
+        Infrastructure failures (crash after retries, hard timeout) raise —
+        use the :class:`~repro.solver.service.SolverService` wrapper for the
+        degrade-to-LIMIT behaviour the algorithm layer wants.
+        """
+        futures = [
+            self.submit(
+                request.model,
+                spec=request.spec,
+                time_limit=request.time_limit,
+                mip_rel_gap=request.mip_rel_gap,
+                hard_timeout=request.hard_timeout,
+            )
+            for request in requests
+        ]
+        return [future.result() for future in futures]
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                crashes=self._stats.crashes,
+                restarts=self._stats.restarts,
+                timeouts=self._stats.timeouts,
+                retries=self._stats.retries,
+            )
+
+    def close(self) -> None:
+        """Stop all servers; pending futures fail with SolverPoolError."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._queue)
+            self._queue.clear()
+        for item in pending:
+            if not item.future.done():
+                item.future.set_exception(SolverPoolError("pool closed before dispatch"))
+        self._wake()
+        self._manager.join(timeout=5.0)
+        for server in self._servers:
+            inflight = server.current
+            server.current = None
+            if inflight is not None and not inflight.future.done():
+                inflight.future.set_exception(SolverPoolError("pool closed mid-solve"))
+            self._stop_server(server)
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Server lifecycle
+    # ------------------------------------------------------------------
+    def _start_server(self, index: int, generation: int = 0) -> _Server:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_server_main,
+            args=(child_conn, self._initializer),
+            name=f"solver-server-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Server(index=index, process=process, conn=parent_conn, generation=generation)
+
+    def _stop_server(self, server: _Server) -> None:
+        try:
+            if server.process.is_alive():
+                try:
+                    server.conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
+                server.process.join(timeout=1.0)
+                if server.process.is_alive():
+                    server.process.terminate()
+                    server.process.join(timeout=1.0)
+                    if server.process.is_alive():
+                        server.process.kill()
+                        server.process.join(timeout=1.0)
+        finally:
+            server.conn.close()
+
+    def _restart_server(self, server: _Server) -> None:
+        """Replace a dead/hung server with a fresh process in-place."""
+        try:
+            if server.process.is_alive():
+                server.process.terminate()
+                server.process.join(timeout=1.0)
+                if server.process.is_alive():
+                    server.process.kill()
+                    server.process.join(timeout=1.0)
+            server.conn.close()
+        except OSError:
+            pass
+        fresh = self._start_server(server.index, generation=server.generation + 1)
+        server.process = fresh.process
+        server.conn = fresh.conn
+        server.generation = fresh.generation
+        server.current = None
+        self._stats.restarts += 1
+
+    # ------------------------------------------------------------------
+    # Manager thread
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"x")
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _dispatch_locked(self) -> None:
+        for server in self._servers:
+            if server.current is not None:
+                continue
+            if not server.process.is_alive():
+                # Died while idle (e.g. killed externally): bring it back so
+                # the pool never silently loses capacity.
+                self._stats.crashes += 1
+                self._restart_server(server)
+            pending = None
+            while self._queue:
+                candidate = self._queue.popleft()
+                if not candidate.started:
+                    # First dispatch: honour Future.cancel() called while
+                    # the request was still queued.  Retries are already in
+                    # RUNNING state and cannot be cancelled.
+                    if not candidate.future.set_running_or_notify_cancel():
+                        continue
+                    candidate.started = True
+                pending = candidate
+                break
+            if pending is None:
+                continue
+            pending.attempts += 1
+            pending.dispatched_at = time.monotonic()
+            try:
+                server.conn.send(("solve", pending.request_id, pending.payload))
+            except (BrokenPipeError, OSError):
+                # Server died between liveness check and send: restart and
+                # put the request back (the attempt did not reach a solver).
+                pending.attempts -= 1
+                self._queue.appendleft(pending)
+                self._stats.crashes += 1
+                self._restart_server(server)
+                continue
+            server.current = pending
+
+    def _fail_or_retry_locked(self, pending: _PendingSolve | None, error: Exception) -> None:
+        if pending is None:
+            return
+        if isinstance(error, SolverServerCrashError) and pending.attempts <= self.max_retries:
+            self._stats.retries += 1
+            self._queue.appendleft(pending)
+        else:
+            pending.future.set_exception(error)
+
+    def _manage(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                self._dispatch_locked()
+                waitables: list[Any] = [self._wake_r]
+                for server in self._servers:
+                    if server.current is not None:
+                        waitables.append(server.conn)
+                        waitables.append(server.process.sentinel)
+            ready = connection_wait(waitables, timeout=_POLL_INTERVAL)
+            if self._wake_r in ready:
+                try:
+                    while self._wake_r.poll():
+                        self._wake_r.recv_bytes()
+                except (EOFError, OSError):
+                    pass
+            now = time.monotonic()
+            with self._lock:
+                if self._closed:
+                    return
+                for server in self._servers:
+                    pending = server.current
+                    if pending is None:
+                        continue
+                    # 1. A result (or backend error) arrived.
+                    got_message = False
+                    try:
+                        while server.conn.poll():
+                            message = server.conn.recv()
+                            got_message = True
+                            self._complete_locked(server, message)
+                            break
+                    except (EOFError, OSError):
+                        got_message = False
+                    if got_message:
+                        continue
+                    # 2. The server died mid-solve.
+                    if not server.process.is_alive():
+                        self._stats.crashes += 1
+                        server.current = None
+                        self._restart_server(server)
+                        self._fail_or_retry_locked(
+                            pending,
+                            SolverServerCrashError(
+                                f"solver server died during solve "
+                                f"(request {pending.request_id}, attempt {pending.attempts})"
+                            ),
+                        )
+                        continue
+                    # 3. The hard deadline passed: kill + restart the server.
+                    if (
+                        pending.hard_timeout is not None
+                        and now - pending.dispatched_at > pending.hard_timeout
+                    ):
+                        self._stats.timeouts += 1
+                        server.current = None
+                        self._restart_server(server)
+                        timeout_error = SolverPoolTimeoutError(
+                            f"solve exceeded hard timeout of {pending.hard_timeout:.3g}s "
+                            f"(request {pending.request_id}); server restarted"
+                        )
+                        # How long the solve actually ran before being
+                        # killed — the service records this as the solve's
+                        # wall time instead of the time since batch start.
+                        timeout_error.solve_wall_time = now - pending.dispatched_at
+                        self._fail_or_retry_locked(pending, timeout_error)
+
+    def _complete_locked(self, server: _Server, message: tuple) -> None:
+        pending = server.current
+        server.current = None
+        if pending is None or message[0] != pending.request_id:
+            # A stale reply from a generation we already gave up on.
+            return
+        if message[1] == "ok":
+            _, _, solution, server_wall_time, server_pid = message
+            solution.diagnostics.setdefault("server_wall_time", float(server_wall_time))
+            solution.diagnostics.setdefault("server_pid", int(server_pid))
+            self._stats.completed += 1
+            pending.future.set_result(solution)
+        elif message[1] == "raise":
+            _, _, exc, remote_traceback = message
+            self._stats.completed += 1
+            if isinstance(exc, ReproError):
+                # Library errors keep their type so callers handle pooled
+                # and inline solves identically; the remote traceback rides
+                # along for debugging.
+                exc.remote_traceback = remote_traceback
+                pending.future.set_exception(exc)
+            else:
+                pending.future.set_exception(
+                    SolverBackendError(
+                        f"{type(exc).__name__}: {exc}\n--- remote traceback ---\n"
+                        f"{remote_traceback}"
+                    )
+                )
+        else:
+            _, _, summary, remote_traceback = message
+            self._stats.completed += 1
+            pending.future.set_exception(
+                SolverBackendError(f"{summary}\n--- remote traceback ---\n{remote_traceback}")
+            )

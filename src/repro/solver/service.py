@@ -1,0 +1,263 @@
+"""SolverService: the single facade every MILP call site goes through.
+
+The service resolves a :class:`~repro.solver.registry.BackendSpec` against
+the backend registry, runs the solve either **inline** (no pool) or on the
+attached :class:`~repro.solver.pool.SolverPool`, and attaches uniform
+:class:`~repro.milp.model.SolveTelemetry` (wall time, status, backend
+fingerprint, pooled flag) to every returned
+:class:`~repro.milp.model.MilpSolution`.
+
+A process-global *current service* makes the pool pluggable without
+threading it through every config object: the orchestration worker installs
+a pooled service around its claim–execute loop via
+:func:`pooled_service_scope`, and all solves inside the cell (EPTAS
+configuration MILPs, exact assignment MILPs, the Das–Wiese ILP) pick it up
+through :func:`get_solver_service`.
+
+Failure semantics: a pool *hard timeout* degrades to a ``LIMIT`` solution
+(exactly like an inline backend hitting its time limit) so algorithms treat
+it as "guess infeasible"; a server crash that survives retries raises
+:class:`~repro.solver.pool.SolverServerCrashError` — that is an
+infrastructure failure worth surfacing, not a property of the model.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+from ..milp.model import LinearModel, CompiledModel, MilpSolution, SolutionStatus, SolveTelemetry
+from .pool import SolveRequest, SolverPool, SolverPoolTimeoutError
+from .registry import BackendSpec, backend_fingerprint, resolve_backend
+
+__all__ = [
+    "SolverService",
+    "get_solver_service",
+    "pooled_service_scope",
+    "service_scope",
+]
+
+
+class SolverService:
+    """Facade over the backend registry and an optional subprocess pool."""
+
+    def __init__(self, pool: SolverPool | None = None) -> None:
+        self.pool = pool
+        self._stats: dict[str, Any] = {
+            "solves": 0,
+            "pooled_solves": 0,
+            "wall_time": 0.0,
+            "backends": {},
+        }
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    @property
+    def concurrency(self) -> int:
+        """How many solves can genuinely overlap (1 without a pool)."""
+        return self.pool.num_servers if self.pool is not None else 1
+
+    def solve(
+        self,
+        model: LinearModel | CompiledModel,
+        *,
+        spec: BackendSpec | str = "scipy",
+        time_limit: float | None = None,
+        mip_rel_gap: float = 0.0,
+    ) -> MilpSolution:
+        """Solve one model inline (single solves never pay pool overhead)."""
+        backend_spec = BackendSpec.coerce(spec)
+        started = time.perf_counter()
+        solution = self._solve_inline(
+            model, backend_spec, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+        )
+        self._finish(solution, backend_spec, time.perf_counter() - started, pooled=False)
+        return solution
+
+    def solve_many(
+        self, requests: Sequence[SolveRequest], *, return_exceptions: bool = False
+    ) -> list["MilpSolution | Exception"]:
+        """Solve a batch, overlapping on the pool when one is attached.
+
+        Results are returned in request order.  Without a pool (or for a
+        single request) this degrades to sequential inline solves, so
+        callers can batch unconditionally.
+
+        With ``return_exceptions=True`` a failing solve yields its exception
+        in that request's slot instead of aborting the batch — the solver
+        analogue of ``asyncio.gather`` — so callers with per-item fallback
+        logic (the EPTAS search) never lose the rest of a round.
+        """
+        requests = list(requests)
+        if self.pool is None or len(requests) <= 1:
+            results: list[MilpSolution | Exception] = []
+            for request in requests:
+                try:
+                    results.append(
+                        self.solve(
+                            request.model,
+                            spec=request.spec,
+                            time_limit=request.time_limit,
+                            mip_rel_gap=request.mip_rel_gap,
+                        )
+                    )
+                except Exception as exc:  # noqa: BLE001 — re-raised unless opted in
+                    if not return_exceptions:
+                        raise
+                    results.append(exc)
+            return results
+        specs = [BackendSpec.coerce(request.spec) for request in requests]
+        started = time.perf_counter()
+        futures = [
+            self.pool.submit(
+                request.model,
+                spec=spec,
+                time_limit=request.time_limit,
+                mip_rel_gap=request.mip_rel_gap,
+                hard_timeout=request.hard_timeout,
+            )
+            for request, spec in zip(requests, specs)
+        ]
+        # Completion times recorded by callback, not at sequential result()
+        # time: the fallback wall for a solve with no server-side measurement
+        # (e.g. a timeout) must not absorb the wait on earlier futures.
+        finished_at: dict[int, float] = {}
+        for index, future in enumerate(futures):
+            future.add_done_callback(
+                lambda _future, index=index: finished_at.setdefault(
+                    index, time.perf_counter()
+                )
+            )
+        results = []
+        for index, (future, spec) in enumerate(zip(futures, specs)):
+            try:
+                solution = future.result()
+            except SolverPoolTimeoutError as exc:
+                # Same contract as an inline backend hitting its time limit.
+                # The pool reports how long the killed solve actually ran;
+                # without it the fallback below would charge the whole
+                # batch-queue wait to this one solve.
+                diagnostics: dict[str, Any] = {"pool_timeout": str(exc)}
+                solve_wall_time = getattr(exc, "solve_wall_time", None)
+                if solve_wall_time is not None:
+                    diagnostics["server_wall_time"] = float(solve_wall_time)
+                solution = MilpSolution(
+                    status=SolutionStatus.LIMIT,
+                    objective=float("inf"),
+                    diagnostics=diagnostics,
+                )
+            except Exception as exc:  # noqa: BLE001 — re-raised unless opted in
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+                continue
+            elapsed = finished_at.get(index, time.perf_counter()) - started
+            wall = float(solution.diagnostics.get("server_wall_time", elapsed))
+            self._finish(solution, spec, wall, pooled=True)
+            results.append(solution)
+        return results
+
+    def _solve_inline(
+        self,
+        model: LinearModel | CompiledModel,
+        spec: BackendSpec,
+        *,
+        time_limit: float | None,
+        mip_rel_gap: float,
+    ) -> MilpSolution:
+        backend = resolve_backend(spec.name)
+        compiled = model.compile() if isinstance(model, LinearModel) else model
+        return backend.solve(
+            compiled,
+            time_limit=time_limit,
+            mip_rel_gap=mip_rel_gap,
+            options=spec.options_dict(),
+        )
+
+    def _finish(
+        self, solution: MilpSolution, spec: BackendSpec, wall_time: float, *, pooled: bool
+    ) -> None:
+        fingerprint = backend_fingerprint(spec)
+        solution.telemetry = SolveTelemetry(
+            backend=spec.name,
+            fingerprint=fingerprint,
+            wall_time=float(wall_time),
+            status=solution.status.value,
+            pooled=pooled,
+            server_pid=solution.diagnostics.get("server_pid"),
+        )
+        self._stats["solves"] += 1
+        if pooled:
+            self._stats["pooled_solves"] += 1
+        self._stats["wall_time"] += float(wall_time)
+        per_backend = self._stats["backends"]
+        per_backend[fingerprint] = per_backend.get(fingerprint, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Telemetry counters (per process, per service)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        return {
+            "solves": self._stats["solves"],
+            "pooled_solves": self._stats["pooled_solves"],
+            "wall_time": self._stats["wall_time"],
+            "backends": dict(self._stats["backends"]),
+        }
+
+    def stats_delta(self, before: dict[str, Any]) -> dict[str, Any]:
+        """Difference between :meth:`stats` now and an earlier snapshot."""
+        now = self.stats()
+        backends = {
+            fp: count - before.get("backends", {}).get(fp, 0)
+            for fp, count in now["backends"].items()
+            if count - before.get("backends", {}).get(fp, 0)
+        }
+        return {
+            "solves": now["solves"] - before.get("solves", 0),
+            "pooled_solves": now["pooled_solves"] - before.get("pooled_solves", 0),
+            "wall_time": now["wall_time"] - before.get("wall_time", 0.0),
+            "backends": backends,
+        }
+
+
+_default_service = SolverService()
+_current_service: SolverService = _default_service
+
+
+def get_solver_service() -> SolverService:
+    """The service in effect for this process (pooled inside scopes)."""
+    return _current_service
+
+
+@contextmanager
+def service_scope(service: SolverService) -> Iterator[SolverService]:
+    """Install ``service`` as the current one for the scope's duration."""
+    global _current_service
+    previous = _current_service
+    _current_service = service
+    try:
+        yield service
+    finally:
+        _current_service = previous
+
+
+@contextmanager
+def pooled_service_scope(
+    num_servers: int, **pool_kwargs: Any
+) -> Iterator[SolverService]:
+    """Run the scope with a fresh subprocess pool attached to the service.
+
+    ``num_servers <= 0`` is a no-op scope yielding the ambient service, so
+    callers can pass a CLI value straight through.
+    """
+    if num_servers <= 0:
+        yield get_solver_service()
+        return
+    pool = SolverPool(num_servers, **pool_kwargs)
+    try:
+        with service_scope(SolverService(pool)) as service:
+            yield service
+    finally:
+        pool.close()
