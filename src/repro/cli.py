@@ -7,7 +7,8 @@ Commands
 ``compare``    run several solvers on one instance and print a comparison table
 ``experiments``run the DESIGN.md experiments (E1…E10) and print their tables
 ``constants``  print the paper's derived constants / Lemma-6 sizes for an eps
-``orch``       persistent parallel experiment orchestration (run/status/reset/export)
+``orch``       persistent parallel experiment orchestration
+               (run/plan/status/reset/export)
 """
 
 from __future__ import annotations
@@ -133,6 +134,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-populate",
         action="store_true",
         help="only drain rows already in the store (skip grid expansion)",
+    )
+    orch_run.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="skip the scheduler: no prerequisite hoisting, FIFO claiming "
+        "(priorities already in the store still apply)",
+    )
+
+    orch_plan = orch_sub.add_parser(
+        "plan",
+        help="populate grids, hoist shared prerequisites and assign "
+        "cost-model claim priorities — without running anything",
+    )
+    orch_plan.add_argument(
+        "experiments", nargs="+", help="experiment names (e1…e10, smoke)"
+    )
+    _add_db(orch_plan)
+    orch_plan.add_argument("--seed", type=int, default=0)
+    plan_mode = orch_plan.add_mutually_exclusive_group()
+    plan_mode.add_argument("--quick", action="store_true", help="quick grids (default)")
+    plan_mode.add_argument("--full", action="store_true", help="full (slow) grids")
+    orch_plan.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for the projected-makespan simulation",
     )
 
     orch_status = orch_sub.add_parser("status", help="per-experiment status counts")
@@ -319,16 +346,77 @@ def _cmd_orch_run(args: argparse.Namespace) -> int:
         stale_after=args.stale_after,
         use_cache=not args.no_cache,
         solver_servers=args.solver_servers,
+        plan=not args.no_plan,
     )
     print(
         f"populated {report.populated} new rows, reclaimed {report.reclaimed} stale rows"
     )
+    if report.hoisted or report.dependency_edges:
+        print(
+            f"planner: hoisted {report.hoisted} shared prerequisites, "
+            f"gated {report.dependency_edges} cells"
+        )
     print(
         f"workers={report.workers} claimed={report.claimed} done={report.done} "
         f"errors={report.errors}"
     )
     print(f"wall_time_s={report.wall_time:.3f}")
     return 1 if report.errors else 0
+
+
+def _cmd_orch_plan(args: argparse.Namespace) -> int:
+    from .orchestration import ExperimentStore, plan
+    from .orchestration.planner import PREREQ_EXPERIMENT
+
+    names = _resolve_spec_names(args.experiments)
+    with ExperimentStore(_orch_db_path(args)) as store:
+        report = plan(
+            store,
+            names,
+            quick=not args.full,
+            seed=args.seed,
+            workers=max(1, args.workers),
+        )
+        table = ExperimentTable("plan", f"schedule plan ({_orch_db_path(args)})")
+        for experiment in report.experiments:
+            pending = store.fetch_rows(experiment, status="pending")
+            gated = sum(1 for row in pending if row.depends_on)
+            table.add_row(
+                {
+                    "experiment": experiment,
+                    "pending": len(pending),
+                    "est_cost_total": report.estimate_totals.get(experiment, 0.0),
+                    "gated_on_prereqs": gated,
+                }
+            )
+        if report.hoisted:
+            table.add_row(
+                {
+                    "experiment": PREREQ_EXPERIMENT,
+                    "pending": len(
+                        store.fetch_rows(PREREQ_EXPERIMENT, status="pending")
+                    ),
+                    "est_cost_total": report.estimate_totals.get(PREREQ_EXPERIMENT, 0.0),
+                    "gated_on_prereqs": 0,
+                }
+            )
+    table.add_note(
+        f"hoisted {len(report.hoisted)} shared prerequisites gating "
+        f"{report.dependent_cells} cells"
+        + (
+            f" ({report.skipped_cached} already satisfied by the cache)"
+            if report.skipped_cached
+            else ""
+        )
+    )
+    if report.projected_fifo:
+        table.add_note(
+            f"projected makespan on {max(1, args.workers)} workers "
+            f"(cost-model units): fifo={report.projected_fifo:.3g}, "
+            f"priority={report.projected_priority:.3g}"
+        )
+    print(table.to_text())
+    return 0
 
 
 def _cmd_orch_status(args: argparse.Namespace) -> int:
@@ -378,7 +466,13 @@ def _cmd_orch_export(args: argparse.Namespace) -> int:
 
     with ExperimentStore(_orch_db_path(args)) as store:
         in_store = store.experiments()
-        names = args.experiments or in_store
+        # prereq rows are scheduling infrastructure, not an experiment table;
+        # export them only when named explicitly.
+        from .orchestration.planner import PREREQ_EXPERIMENT
+
+        names = args.experiments or [
+            name for name in in_store if name != PREREQ_EXPERIMENT
+        ]
         if not names:
             print("store is empty; run `repro orch run` first", file=sys.stderr)
             return 1
@@ -418,6 +512,7 @@ def _cmd_orch_export(args: argparse.Namespace) -> int:
 
 _ORCH_HANDLERS = {
     "run": _cmd_orch_run,
+    "plan": _cmd_orch_plan,
     "status": _cmd_orch_status,
     "reset": _cmd_orch_reset,
     "export": _cmd_orch_export,

@@ -9,6 +9,13 @@ Turns the in-memory experiment drivers into a database-backed engine:
 * :mod:`~repro.orchestration.runner` — a ``ProcessPoolExecutor`` worker pool
   with crash-safe resume (stale ``running`` rows are reclaimed).
 * :mod:`~repro.orchestration.cache` — content-hash solver-result caching.
+* :mod:`~repro.orchestration.scheduling` — cost model fitted from stored
+  durations; claiming becomes longest-expected-first with a bounded-wait
+  FIFO interleave.
+* :mod:`~repro.orchestration.planner` — dependency-aware grid planning:
+  exact-MILP sub-results shared by several cells (E2/E4/E10) are hoisted
+  into ``prereq`` rows that gate their dependents via ``depends_on`` edges
+  and feed them through the result cache.
 * :mod:`~repro.orchestration.export` — completed rows back out as
   :class:`~repro.experiments.tables.ExperimentTable`, CSV or LaTeX.
 
@@ -22,28 +29,46 @@ Typical workflow (also exposed as ``repro orch ...``)::
 """
 
 from . import export, registry
-from .cache import activate_cache, active_cache, cached_solve, deactivate_cache, instance_digest
+from .cache import (
+    activate_cache,
+    active_cache,
+    cached_payload,
+    cached_solve,
+    deactivate_cache,
+    instance_digest,
+)
+from .planner import PREREQ_EXPERIMENT, PlanReport, PrereqCall, plan
 from .registry import ExperimentSpec, get_spec, run_spec_inline, spec_names
 from .runner import RunReport, populate, run_pool, run_worker
+from .scheduling import CostModel, claim_order, plan_priorities, simulate_makespan
 from .store import ExperimentStore, canonical_params, params_hash
 
 __all__ = [
+    "CostModel",
     "ExperimentSpec",
     "ExperimentStore",
+    "PREREQ_EXPERIMENT",
+    "PlanReport",
+    "PrereqCall",
     "RunReport",
     "activate_cache",
     "active_cache",
+    "cached_payload",
     "cached_solve",
     "canonical_params",
+    "claim_order",
     "deactivate_cache",
     "export",
     "get_spec",
     "instance_digest",
     "params_hash",
+    "plan",
+    "plan_priorities",
     "populate",
     "registry",
     "run_pool",
     "run_spec_inline",
     "run_worker",
+    "simulate_makespan",
     "spec_names",
 ]

@@ -38,6 +38,7 @@ __all__ = [
     "deactivate_cache",
     "active_cache",
     "cache_key",
+    "cached_payload",
     "cached_solve",
     "clear_memo",
     "instance_digest",
@@ -160,6 +161,32 @@ def _summarise(result: SolverResult) -> dict[str, Any]:
         "solver": result.solver,
         "diagnostics": _to_jsonable(result.diagnostics),
     }
+
+
+def cached_payload(
+    instance: Instance,
+    solver: str,
+    *,
+    config: Mapping[str, Any] | None = None,
+    backend: "str | Any | None" = None,
+) -> dict[str, Any] | None:
+    """Probe both cache layers for a solve's payload without computing it.
+
+    Unlike :func:`cached_solve` a miss returns ``None`` (nothing runs), and
+    unlike ``store.cache_get`` the in-process memo is consulted too.  The
+    planner's cheaper existence probe is ``store.cache_contains`` (it skips
+    the hit counter); this helper is for callers that want the payload —
+    library users inspecting cached optima, and tests asserting a
+    prerequisite's result actually landed in the cache.
+    """
+    key = cache_key(instance, solver, config, backend=backend)
+    hit = _memo.get(key)
+    if hit is not None:
+        return dict(hit)
+    store = active_cache()
+    if store is not None:
+        return store.cache_get(key)
+    return None
 
 
 def cached_solve(

@@ -110,6 +110,42 @@ def _solver_telemetry_note(done_rows: list[Any]) -> str | None:
     )
 
 
+def _scheduling_note(done_rows: list[Any]) -> str | None:
+    """Roll scheduler bookkeeping up into one table note.
+
+    Reports how well the cost model *ordered* the cells — the fraction of
+    cell pairs where the estimate and the measured duration agree on which
+    is bigger.  Rank agreement is unit-free, so it stays meaningful while
+    estimates are still in hint units (before any duration history exists).
+    Also counts cells gated on hoisted prerequisites.
+    """
+    estimated = [
+        (row.cost_estimate, row.duration)
+        for row in done_rows
+        if row.cost_estimate is not None and row.duration is not None
+    ]
+    gated = sum(1 for row in done_rows if row.depends_on)
+    if not estimated and not gated:
+        return None
+    parts: list[str] = []
+    if estimated:
+        parts.append(f"{len(estimated)}/{len(done_rows)} cells cost-estimated")
+        concordant = discordant = 0
+        for index, (est_a, dur_a) in enumerate(estimated):
+            for est_b, dur_b in estimated[index + 1 :]:
+                product = (est_a - est_b) * (dur_a - dur_b)
+                if product > 0:
+                    concordant += 1
+                elif product < 0:
+                    discordant += 1
+        if concordant + discordant:
+            agreement = concordant / (concordant + discordant)
+            parts.append(f"claim-order agreement {agreement:.0%}")
+    if gated:
+        parts.append(f"{gated} cells gated on hoisted prerequisites")
+    return "scheduling: " + "; ".join(parts)
+
+
 def table_from_store(
     store: ExperimentStore,
     experiment: str,
@@ -149,6 +185,9 @@ def table_from_store(
     telemetry_note = _solver_telemetry_note(done)
     if telemetry_note:
         table.add_note(telemetry_note)
+    scheduling_note = _scheduling_note(done)
+    if scheduling_note:
+        table.add_note(scheduling_note)
     if missing:
         # Never let a partially-run grid masquerade as a finished experiment:
         # reduced columns (means over seeds) would silently cover a subset.

@@ -10,6 +10,18 @@ solvers directly — caching a timing study would falsify it.
 
 A ``smoke`` spec (tiny LPT cells) exists for CI and for exercising the
 store/runner machinery in tests without paying for a real experiment.
+
+Scheduling metadata: specs carry ``cost_hint`` callables (relative expected
+cell cost, rescaled into seconds by the duration-history cost model) and —
+for the experiments that start by solving an exact MILP (E2, E4, E10) —
+``prerequisites`` declarations that let the planner hoist exact optima
+shared by several cells into dedicated ``prereq`` rows (see
+:mod:`repro.orchestration.planner`).  Timing-insensitive cells additionally
+opt into pool-aware speculative EPTAS batching: when the runner installs a
+subprocess solver pool (``repro orch run --solver-servers N``), their
+``EptasConfig`` picks up ``speculative_guesses = N`` so the binary-search
+MILPs overlap on the pool.  Timed cells (E3, E4, E10) keep
+``speculative_guesses = 1`` — batching would falsify their measurements.
 """
 
 from __future__ import annotations
@@ -57,7 +69,9 @@ from ..generators import (
     uniform_random_instance,
 )
 from ..simulation import ClusterSimulator
+from ..solver import get_solver_service
 from .cache import cached_solve
+from .planner import PREREQ_EXPERIMENT, PrereqCall, prereq_cost_hint
 from .registry import CellPair, ExperimentSpec, register
 
 __all__ = ["BUILTIN_SPECS"]
@@ -73,6 +87,33 @@ def _exact_optimum(instance: Instance) -> float:
         backend=config.backend_spec,
     )
     return float(payload["makespan"])
+
+
+def _exact_prereq(instance: Instance) -> PrereqCall:
+    """The planner-visible description of one :func:`_exact_optimum` call.
+
+    Solver name, config and backend spec must mirror ``_exact_optimum``
+    exactly — the hoisted row and the dependent cell meet at the cache key.
+    """
+    config = ExactMilpConfig()
+    return PrereqCall(
+        instance=instance,
+        solver="exact-milp",
+        compute=lambda: exact_milp_schedule(instance, config=config),
+        backend=config.backend_spec,
+        cost_hint=float(instance.num_jobs * instance.num_machines),
+    )
+
+
+def _pool_guesses() -> int:
+    """Speculative-guess width for timing-insensitive EPTAS cells.
+
+    Follows the solver pool the runner installed for this worker (1 without
+    a pool, i.e. plain sequential binary search).  Results are identical
+    either way — batching only reorders which guesses are evaluated
+    concurrently — so cached payloads stay valid across pool sizes.
+    """
+    return max(1, get_solver_service().concurrency)
 
 
 def _group_means(
@@ -122,7 +163,7 @@ def cell_e1(*, machines: int, seed: int) -> dict[str, Any]:
     naive = cached_solve(instance, "first-fit", lambda: first_fit_schedule(instance))
     greedy = cached_solve(instance, "greedy-list", lambda: greedy_schedule(instance))
     lpt = cached_solve(instance, "lpt", lambda: lpt_schedule(instance))
-    eptas_config = EptasConfig(eps=0.25)
+    eptas_config = EptasConfig(eps=0.25, speculative_guesses=_pool_guesses())
     eptas = cached_solve(
         instance,
         "eptas",
@@ -169,7 +210,7 @@ def _e2_solvers() -> dict[str, tuple[Callable[[Instance], SolverResult], Any]]:
         ),
     }
     for eps in _E2_EPS_VALUES:
-        eptas_config = EptasConfig(eps=eps)
+        eptas_config = EptasConfig(eps=eps, speculative_guesses=_pool_guesses())
         solvers[f"eptas({eps:g})"] = (
             lambda inst, eps=eps, cfg=eptas_config: eptas_schedule(inst, eps=eps, config=cfg),
             eptas_config.backend_spec,
@@ -209,6 +250,13 @@ def grid_e2(*, quick: bool = True, seed: int = 0) -> list[dict[str, Any]]:
         for family in ("uniform", "figure1", "replicas", "bag_heavy")
         for offset in range(num_seeds)
     ]
+
+
+def prereqs_e2(
+    *, family: str, seed: int, num_jobs: int, num_machines: int, num_bags: int
+) -> list[PrereqCall]:
+    instance = _e2_instance(family, seed, num_jobs, num_machines, num_bags)
+    return [_exact_prereq(instance)]
 
 
 def cell_e2(
@@ -294,10 +342,19 @@ def grid_e4(*, quick: bool = True, seed: int = 0) -> list[dict[str, Any]]:
     ]
 
 
-def cell_e4(*, eps: float, num_jobs: int, seed: int) -> dict[str, Any]:
-    instance = uniform_random_instance(
+def _e4_instance(num_jobs: int, seed: int) -> Instance:
+    """The instance every E4 eps value shares (one exact optimum per seed)."""
+    return uniform_random_instance(
         num_jobs=num_jobs, num_machines=4, num_bags=7, seed=seed
     ).instance
+
+
+def prereqs_e4(*, eps: float, num_jobs: int, seed: int) -> list[PrereqCall]:
+    return [_exact_prereq(_e4_instance(num_jobs, seed))]
+
+
+def cell_e4(*, eps: float, num_jobs: int, seed: int) -> dict[str, Any]:
+    instance = _e4_instance(num_jobs, seed)
     optimum = _exact_optimum(instance)
     start = time.perf_counter()
     result = eptas_schedule(instance, eps=eps)
@@ -500,7 +557,9 @@ def grid_e8(*, quick: bool = True, seed: int = 0) -> list[dict[str, Any]]:
 
 def cell_e8(*, family: str, seed: int) -> dict[str, Any]:
     instance = _e8_instance(family, seed)
-    config = EptasConfig(eps=0.25, practical_priority_cap=1)
+    config = EptasConfig(
+        eps=0.25, practical_priority_cap=1, speculative_guesses=_pool_guesses()
+    )
     payload = cached_solve(
         instance,
         "eptas",
@@ -629,18 +688,29 @@ def grid_e10(*, quick: bool = True, seed: int = 0) -> list[dict[str, Any]]:
     ]
 
 
-def cell_e10(
-    *, variant: str, overrides: dict[str, Any], num_jobs: int, seed: int
-) -> dict[str, Any]:
+def _e10_instance(num_jobs: int, seed: int) -> Instance:
     # Few distinct sizes but many bags: this is the regime where the priority
     # cap genuinely changes the set of priority bags (and hence the MILP).
-    instance = clustered_sizes_instance(
+    # Every E10 variant ablates the same instance, so they share one optimum.
+    return clustered_sizes_instance(
         num_jobs=num_jobs,
         num_machines=4,
         num_bags=12,
         size_values=(0.8, 0.5, 0.2),
         seed=seed,
     ).instance
+
+
+def prereqs_e10(
+    *, variant: str, overrides: dict[str, Any], num_jobs: int, seed: int
+) -> list[PrereqCall]:
+    return [_exact_prereq(_e10_instance(num_jobs, seed))]
+
+
+def cell_e10(
+    *, variant: str, overrides: dict[str, Any], num_jobs: int, seed: int
+) -> dict[str, Any]:
+    instance = _e10_instance(num_jobs, seed)
     optimum = _exact_optimum(instance)
     config = EptasConfig(eps=0.25, **overrides)
     start = time.perf_counter()
@@ -677,6 +747,44 @@ def cell_smoke(*, index: int, seed: int) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# prereq — hoisted shared sub-solves (rows inserted by the planner)
+# ----------------------------------------------------------------------
+def grid_prereq(*, quick: bool = True, seed: int = 0) -> list[dict[str, Any]]:
+    # Prerequisite rows are planner-derived, never grid-expanded: the grid
+    # is empty so `repro orch run prereq` populates nothing on its own.
+    return []
+
+
+def cell_prereq(*, source: str, cell: dict[str, Any], index: int, solver: str) -> dict[str, Any]:
+    """Execute one hoisted sub-solve through the shared result cache.
+
+    The row's params name the *representative* dependent cell; re-deriving
+    the :class:`~repro.orchestration.planner.PrereqCall` from the source
+    spec guarantees the cache key matches what every dependent will ask for.
+    """
+    from . import registry
+
+    spec = registry.get_spec(source)
+    if spec.prerequisites is None:
+        raise KeyError(f"experiment {source!r} declares no prerequisites")
+    calls = spec.prerequisites(**cell)
+    call = calls[index]
+    if call.solver != solver:
+        raise KeyError(
+            f"prerequisite {index} of {source!r} is {call.solver!r}, row says {solver!r}"
+        )
+    payload = cached_solve(
+        call.instance, call.solver, call.compute, config=call.config, backend=call.backend
+    )
+    return {
+        "source": source,
+        "solver": call.solver,
+        "makespan": payload["makespan"],
+        "cache_hit": payload["cache_hit"],
+    }
+
+
+# ----------------------------------------------------------------------
 # Registration
 # ----------------------------------------------------------------------
 BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
@@ -686,6 +794,7 @@ BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
         title="Figure 1 — large-job placement matters (makespans, optimum = 1)",
         make_grid=grid_e1,
         run_cell=cell_e1,
+        cost_hint=lambda p: float(p["machines"]) ** 2,
         notes=(
             "first-fit packs large jobs to height OPT and is then forced to stack "
             "the full bag of small jobs — the phenomenon of the paper's Figure 1; "
@@ -699,6 +808,9 @@ BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
         make_grid=grid_e2,
         run_cell=cell_e2,
         reduce_rows=reduce_e2,
+        # The exact optimum (MILP over all n jobs) dominates an E2 cell.
+        cost_hint=lambda p: float(p["num_jobs"] * p["num_machines"]),
+        prerequisites=prereqs_e2,
         notes=(
             "expected shape: eptas <= 1 + O(eps) and never worse than the "
             "2-approximations; greedy/list scheduling degrades on adversarial families.",
@@ -711,6 +823,9 @@ BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
         make_grid=grid_e3,
         run_cell=cell_e3,
         timing_sensitive=True,
+        # Cells with the exact MILP blow up superlinearly in n; the rest
+        # stay near-linear — precisely the spread priority claiming fixes.
+        cost_hint=lambda p: float(p["num_jobs"]) ** (2.0 if p["with_exact"] else 1.3),
         notes=(
             "expected shape: the exact MILP blows up first; EPTAS and Das-Wiese "
             "grow polynomially in n, with the EPTAS paying a constant (eps-only) "
@@ -724,6 +839,9 @@ BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
         make_grid=grid_e4,
         run_cell=cell_e4,
         timing_sensitive=True,
+        # Smaller eps -> more patterns -> a bigger configuration MILP.
+        cost_hint=lambda p: float(p["num_jobs"]) / max(float(p["eps"]), 1e-9),
+        prerequisites=prereqs_e4,
         notes=(
             "ratio stays below the (1 + 2eps + eps^2) budget; cost rises as eps shrinks.",
         ),
@@ -755,6 +873,7 @@ BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
         title="Lemma 6 — size of the configuration MILP",
         make_grid=grid_e7,
         run_cell=cell_e7,
+        cost_hint=lambda p: float(p["num_jobs"]) / max(float(p["eps"]), 1e-9),
         notes=(
             "the theory columns reproduce the 2^{O(...)} growth of Lemma 6 (log10 of the "
             "pattern bound); the measured columns use the practical constants on a real instance.",
@@ -788,6 +907,12 @@ BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
         make_grid=grid_e10,
         run_cell=cell_e10,
         timing_sensitive=True,
+        # The bnb backend and a large priority cap both inflate the MILP.
+        cost_hint=lambda p: float(p["num_jobs"])
+        * {"own branch-and-bound MILP": 4.0, "priority cap = 12": 3.0}.get(
+            p["variant"], 1.0
+        ),
+        prerequisites=prereqs_e10,
         notes=(
             "all variants stay feasible; a larger priority cap grows the MILP, a smaller one "
             "shifts work to the swap-repair stages.",
@@ -799,6 +924,15 @@ BUILTIN_SPECS: tuple[ExperimentSpec, ...] = (
         title="Orchestration smoke — tiny LPT cells through store/runner/cache",
         make_grid=grid_smoke,
         run_cell=cell_smoke,
+        cost_hint=lambda p: 1.0,
+    ),
+    ExperimentSpec(
+        name=PREREQ_EXPERIMENT,
+        experiment_id="PREREQ",
+        title="Hoisted shared prerequisites (planner-inserted rows)",
+        make_grid=grid_prereq,
+        run_cell=cell_prereq,
+        cost_hint=prereq_cost_hint,
     ),
 )
 

@@ -1,0 +1,272 @@
+"""Dependency-aware grid planning: hoist shared sub-solves, gate dependents.
+
+E2, E4 and E10 all start a cell by computing the exact optimum of the cell's
+instance — and several cells of one grid (all E4 eps values, all E10
+variants) share the *same* instance, so a FIFO run either solves the same
+exact MILP repeatedly (no cache) or serialises every sibling behind whichever
+cell happens to reach it first (cache, but cold).  The planner makes the
+sharing explicit:
+
+1. Specs declare their expensive shared sub-solves via
+   ``ExperimentSpec.prerequisites`` — a callable mapping cell params to
+   :class:`PrereqCall` descriptions (instance + solver + backend, i.e.
+   exactly the identity of a :func:`~repro.orchestration.cache.cached_solve`
+   invocation).
+2. :func:`plan` groups the calls of every pending cell by their content-hash
+   cache key.  Keys needed by at least ``min_shared`` cells (and not already
+   in the persistent cache) are *hoisted*: a dedicated row of the pseudo
+   experiment ``prereq`` is inserted, and every dependent cell is gated on
+   it with a ``depends_on`` edge — the store refuses to hand a gated cell to
+   a worker until the prerequisite row is ``done``.
+3. The prerequisite row's cell (:func:`~repro.orchestration.grids.cell_prereq`)
+   routes the solve through ``cached_solve`` with the *same* key, so when
+   the dependents run, their own ``cached_solve`` call is a guaranteed
+   cache hit: each shared exact MILP is solved exactly once per store.
+
+The planner also fits the :class:`~repro.orchestration.scheduling.CostModel`
+and assigns priorities: ordinary cells get their cost estimate, prerequisite
+rows get their own estimate *plus* the summed estimates of the cells they
+gate (a prerequisite delays everything behind it, so it goes first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.instance import Instance
+from ..core.result import SolverResult
+from .cache import cache_key
+from .scheduling import CostModel, simulate_makespan
+from .store import ExperimentStore, params_hash
+
+__all__ = [
+    "PREREQ_EXPERIMENT",
+    "PrereqCall",
+    "HoistedPrereq",
+    "PlanReport",
+    "discover_prerequisites",
+    "plan",
+]
+
+# Pseudo experiment holding hoisted prerequisite rows.  Registered in
+# grids.py like any other spec (empty grid: rows are planner-inserted).
+PREREQ_EXPERIMENT = "prereq"
+
+
+@dataclass(frozen=True)
+class PrereqCall:
+    """One expensive sub-solve a cell will perform, in cache-key terms.
+
+    ``compute`` re-runs the solve from scratch; the remaining fields must
+    match the dependent cell's own ``cached_solve`` invocation exactly, or
+    the hoisted result would land under a different key and help nobody.
+    """
+
+    instance: Instance
+    solver: str
+    compute: Callable[[], SolverResult]
+    config: Mapping[str, Any] | None = None
+    backend: Any = None
+    cost_hint: float = 10.0
+
+    def key(self) -> str:
+        return cache_key(self.instance, self.solver, self.config, backend=self.backend)
+
+
+@dataclass
+class HoistedPrereq:
+    """One shared sub-solve promoted to a store row."""
+
+    params: dict[str, Any]  # {"source", "cell", "index", "solver"}
+    param_hash: str  # hash of (PREREQ_EXPERIMENT, params)
+    cache_key: str
+    cost_hint: float
+    dependents: list[tuple[str, str]] = field(default_factory=list)  # (experiment, hash)
+
+
+@dataclass
+class PlanReport:
+    """What one planning pass did (rendered by ``repro orch plan``)."""
+
+    experiments: list[str]
+    hoisted: list[HoistedPrereq]
+    prereq_rows_added: int = 0
+    edges: int = 0
+    skipped_cached: int = 0
+    priorities_updated: int = 0
+    estimate_totals: dict[str, float] = field(default_factory=dict)
+    projected_fifo: float = 0.0
+    projected_priority: float = 0.0
+
+    @property
+    def dependent_cells(self) -> int:
+        return sum(len(prereq.dependents) for prereq in self.hoisted)
+
+
+def discover_prerequisites(
+    experiments: Sequence[str], *, quick: bool = True, seed: int = 0
+) -> dict[str, HoistedPrereq]:
+    """Group every declared sub-solve of the named grids by cache key.
+
+    Only builds instances (cheap); nothing is solved.  The representative
+    ``(source, cell, index)`` stored in the prerequisite params is the first
+    cell encountered in deterministic grid order, so re-planning the same
+    grids always produces identical rows (idempotent inserts).
+    """
+    from . import registry  # deferred: pulls in the full grid module
+
+    groups: dict[str, HoistedPrereq] = {}
+    for name in experiments:
+        spec = registry.get_spec(name)
+        if spec.prerequisites is None:
+            continue
+        for params in registry.expand_grid(spec, quick=quick, seed=seed):
+            cell_hash = params_hash(spec.name, params)
+            for index, call in enumerate(spec.prerequisites(**params)):
+                key = call.key()
+                group = groups.get(key)
+                if group is None:
+                    prereq_params = {
+                        "source": spec.name,
+                        "cell": dict(params),
+                        "index": index,
+                        "solver": call.solver,
+                    }
+                    group = HoistedPrereq(
+                        params=prereq_params,
+                        param_hash=params_hash(PREREQ_EXPERIMENT, prereq_params),
+                        cache_key=key,
+                        cost_hint=call.cost_hint,
+                    )
+                    groups[key] = group
+                group.dependents.append((spec.name, cell_hash))
+    return groups
+
+
+def prereq_cost_hint(params: dict[str, Any]) -> float:
+    """Cost hint of a hoisted row: re-derive the declared call's hint."""
+    from . import registry
+
+    spec = registry.get_spec(params["source"])
+    if spec.prerequisites is None:
+        return 10.0
+    calls = spec.prerequisites(**params["cell"])
+    index = int(params["index"])
+    if 0 <= index < len(calls):
+        return float(calls[index].cost_hint)
+    return 10.0
+
+
+def plan(
+    store: ExperimentStore,
+    experiments: Sequence[str],
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    workers: int = 2,
+    populate_rows: bool = True,
+    min_shared: int = 2,
+    hoist: bool = True,
+) -> PlanReport:
+    """Populate (optionally), hoist shared prerequisites, assign priorities.
+
+    Idempotent: re-planning inserts nothing new and rewrites the same edges
+    and priorities.  Cells already running or finished are left alone.
+    ``min_shared`` is the hoisting threshold — a sub-solve needed by a single
+    cell gains nothing from a dedicated row (the cell caches it anyway).
+    ``hoist=False`` skips prerequisite extraction entirely and only assigns
+    priorities — hoisting is pointless when the runner disables the
+    persistent cache, since the hoisted result could never reach dependents.
+    """
+    from . import registry
+    from .runner import populate
+    from .scheduling import plan_priorities
+
+    names = [registry.get_spec(name).name for name in experiments]
+    report = PlanReport(experiments=list(names), hoisted=[])
+    if populate_rows:
+        populate(store, names, quick=quick, seed=seed)
+
+    hoisted: list[HoistedPrereq] = []
+    if hoist:
+        # Only rows still pending can be gated (and can consume the hoisted
+        # result): cells already done/running must not count toward the
+        # hoisting threshold, or a re-plan over a finished uncached grid
+        # would solve an expensive prerequisite nobody reads.
+        pending_cells = {
+            (name, params_hash(name, row.params))
+            for name in names
+            for row in store.fetch_rows(name, status="pending")
+        }
+        groups = discover_prerequisites(names, quick=quick, seed=seed)
+        for key in sorted(groups):
+            group = groups[key]
+            group.dependents = [
+                dependent for dependent in group.dependents if dependent in pending_cells
+            ]
+            if len(group.dependents) < min_shared:
+                continue
+            if store.cache_contains(group.cache_key):
+                report.skipped_cached += 1
+                continue
+            hoisted.append(group)
+    report.hoisted = hoisted
+
+    if hoisted:
+        report.prereq_rows_added = store.add_rows(
+            PREREQ_EXPERIMENT, [group.params for group in hoisted]
+        )
+        # A cell may be gated on several prerequisites: collect edges per
+        # cell first so one set_dependencies call writes the full list.
+        edges: dict[tuple[str, str], list[str]] = {}
+        for group in hoisted:
+            for dependent in group.dependents:
+                edges.setdefault(dependent, []).append(group.param_hash)
+        for (experiment, cell_hash), deps in edges.items():
+            if store.set_dependencies(experiment, cell_hash, deps):
+                report.edges += 1
+
+    # Priorities: longest-expected-first for ordinary cells; prerequisites
+    # additionally carry the estimates of everything they gate.
+    model = CostModel.fit(store)
+    schedule_names = names + ([PREREQ_EXPERIMENT] if hoisted else [])
+    summary = plan_priorities(store, schedule_names, model=model)
+    report.priorities_updated = summary["updated"]
+    report.estimate_totals = summary["totals"]
+    if hoisted:
+        boosts: list[tuple[str, str, float, float | None]] = []
+        dependent_estimates: dict[str, float] = {}
+        for name in names:
+            for row in store.fetch_rows(name, status="pending"):
+                dependent_estimates[params_hash(name, row.params)] = (
+                    row.cost_estimate
+                    if row.cost_estimate is not None
+                    else model.estimate(name, row.params)
+                )
+        for group in hoisted:
+            own = model.estimate(PREREQ_EXPERIMENT, group.params)
+            gate = sum(
+                dependent_estimates.get(cell_hash, 0.0)
+                for _, cell_hash in group.dependents
+            )
+            boosts.append(
+                (PREREQ_EXPERIMENT, group.param_hash, own + gate, own)
+            )
+        store.set_schedule(boosts)
+
+    # Projection: what this plan buys over FIFO on the requested worker
+    # count (list-scheduling simulation over the pending cost estimates;
+    # dependency edges are ignored — prerequisites sort first anyway).
+    costs = [
+        row.cost_estimate
+        for name in dict.fromkeys(schedule_names)
+        for row in store.fetch_rows(name, status="pending")
+        if row.cost_estimate is not None
+    ]
+    if costs:
+        report.projected_fifo = simulate_makespan(costs, workers, order="fifo")
+        report.projected_priority = simulate_makespan(
+            costs, workers, order="priority", fifo_every=store.fifo_every
+        )
+    return report

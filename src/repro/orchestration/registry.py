@@ -52,9 +52,20 @@ class ExperimentSpec:
     # them beside concurrent workers inflates the measured columns, so the
     # CLI warns and clean timings should use a single worker.
     timing_sensitive: bool = False
+    # Relative expected cost of one cell: (params) -> float.  Fed to the
+    # scheduling cost model as the shape prior — stored duration history
+    # rescales it into seconds; without history the raw value orders claims.
+    cost_hint: Callable[[dict[str, Any]], float] | None = None
+    # Expensive shared sub-solves of one cell: (**params) -> list[PrereqCall]
+    # (see repro.orchestration.planner).  The planner hoists sub-solves that
+    # several cells share into dedicated prerequisite rows, gates the cells
+    # on them via depends_on edges, and lets the content-hash cache hand the
+    # result to every dependent.
+    prerequisites: Callable[..., list[Any]] | None = None
 
 
 _REGISTRY: dict[str, ExperimentSpec] = {}
+_builtins_loaded = False
 
 
 def register(spec: ExperimentSpec) -> ExperimentSpec:
@@ -65,7 +76,11 @@ def register(spec: ExperimentSpec) -> ExperimentSpec:
 def _ensure_loaded() -> None:
     # The builtin specs live in grids.py; importing it registers them.  Done
     # lazily so store/cache can be used without pulling in every solver.
-    if not _REGISTRY:
+    # Guarded by a flag, not by the registry being empty: an ad-hoc spec
+    # registered first (tests, library use) must not mask the builtins.
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
         from . import grids  # noqa: F401
 
 

@@ -21,6 +21,16 @@ overlap instead of blocking the worker (``repro orch run --solver-servers
 N``).  The per-cell solver telemetry delta (solve count, wall time, backend
 fingerprints) is attached to every result under ``_solver_telemetry`` and
 surfaced by ``repro orch export``.
+
+Scheduling: ``run_pool`` plans before it drains (``plan=True``): the
+:mod:`~repro.orchestration.planner` hoists shared prerequisites and the
+:mod:`~repro.orchestration.scheduling` cost model assigns claim priorities,
+so workers execute longest-expected cells first instead of FIFO.  A worker
+whose claim comes back empty while rows are still *blocked* on
+prerequisites does not exit: it heals stale dependency counters, cascades
+prerequisite failures, reclaims dependency-blocking rows abandoned by dead
+workers (``stale_after``), and polls until the blocked rows resolve or no
+live path to them remains.
 """
 
 from __future__ import annotations
@@ -35,11 +45,16 @@ from typing import Sequence
 from ..solver import get_solver_service, pooled_service_scope
 from . import registry
 from .cache import cache_scope
+from .planner import PREREQ_EXPERIMENT
 from .store import ExperimentStore
 
 __all__ = ["RunReport", "populate", "run_pool", "run_worker"]
 
 SOLVER_TELEMETRY_KEY = "_solver_telemetry"
+
+# How long an idle worker sleeps between polls while rows it could run are
+# still blocked on an in-flight prerequisite of another worker.
+BLOCKED_POLL_SECONDS = 0.05
 
 
 @dataclass(slots=True)
@@ -54,6 +69,9 @@ class RunReport:
     workers: int = 1
     wall_time: float = 0.0
     worker_tags: list[str] = field(default_factory=list)
+    # Planner summary (zero when planning is disabled or nothing to hoist).
+    hoisted: int = 0
+    dependency_edges: int = 0
 
     def merge(self, other: "RunReport") -> None:
         self.claimed += other.claimed
@@ -78,6 +96,50 @@ def populate(
     return added
 
 
+def _blocked_rows_can_progress(
+    store: ExperimentStore,
+    experiments: Sequence[str] | None,
+    *,
+    stale_after: float,
+) -> bool:
+    """Housekeeping for dependency-blocked rows; True if claiming may retry.
+
+    Called when a claim came back empty but blocked pending rows remain.
+    In order: heal stale ``deps_pending`` counters, cascade prerequisite
+    failures onto their dependents, reclaim blocking rows whose worker died
+    (``stale_after``-old ``running`` claims), and finally decide whether any
+    unfinished prerequisite can still complete — if every blocking row is
+    unreachable (deleted, or pending outside this runner's experiment
+    filter), waiting would deadlock and the worker gives up instead.
+    """
+    if store.sync_dependencies(experiments):
+        return True
+    if store.fail_blocked_on_error(experiments):
+        return True
+    blocking = store.blocking_dependencies(experiments)
+    if not blocking:
+        return False
+    running_experiments = sorted(
+        {dep["experiment"] for dep in blocking if dep["status"] == "running"}
+    )
+    if running_experiments:
+        store.reclaim_stale(older_than=stale_after, experiments=running_experiments)
+        return True
+    for dep in blocking:
+        if (
+            dep["status"] == "pending"
+            and dep["deps_pending"] == 0
+            and (experiments is None or dep["experiment"] in experiments)
+        ):
+            # Genuinely claimable by this very loop (or a sibling): the
+            # empty claim was a race against another worker's state change.
+            # A pending dependency that is itself gated does NOT count —
+            # a dependency cycle (or a chain whose root is gone) must break
+            # the loop, not spin it at the poll interval forever.
+            return True
+    return False
+
+
 def run_worker(
     db_path: str,
     experiments: Sequence[str] | None,
@@ -85,12 +147,15 @@ def run_worker(
     *,
     use_cache: bool = True,
     solver_servers: int = 0,
+    stale_after: float = 600.0,
 ) -> RunReport:
     """Claim-execute-writeback loop of a single worker (also used inline).
 
     ``solver_servers > 0`` installs a shared subprocess solver pool for the
     lifetime of the loop: every MILP solved by any cell this worker executes
     goes through the same pool of long-lived solver servers.
+    ``stale_after`` bounds how long the loop waits on a dependency-blocking
+    row claimed by a worker that may have died before reclaiming it.
     """
     report = RunReport(worker_tags=[worker_tag])
     # cache_scope (not activate_cache) so the inline workers=1 path does not
@@ -103,7 +168,14 @@ def run_worker(
         while True:
             claimed = store.claim_next(worker_tag, experiments)
             if claimed is None:
-                break
+                if store.blocked_count(experiments) == 0:
+                    break
+                if not _blocked_rows_can_progress(
+                    store, experiments, stale_after=stale_after
+                ):
+                    break
+                time.sleep(BLOCKED_POLL_SECONDS)
+                continue
             report.claimed += 1
             start = time.perf_counter()
             solver_before = solver_service.stats()
@@ -142,8 +214,9 @@ def run_pool(
     stale_after: float = 600.0,
     use_cache: bool = True,
     solver_servers: int = 0,
+    plan: bool = True,
 ) -> RunReport:
-    """Populate (optionally), reclaim stale rows, then drain with a worker pool.
+    """Populate (optionally), plan, reclaim stale rows, then drain with workers.
 
     ``experiments=None`` drains every experiment already present in the
     store (grid expansion needs explicit names, so ``do_populate`` then
@@ -155,32 +228,73 @@ def run_pool(
     reclaim all running rows (safe when no other runner shares the file).
     ``solver_servers`` gives every worker its own pool of that many
     subprocess solver servers (0 = inline solves, the default).
+
+    ``plan=True`` (the default, applied when explicit names are given) runs
+    the dependency-aware planner before draining: shared prerequisites are
+    hoisted into ``prereq`` rows the workers also claim, and cost-model
+    priorities replace FIFO ordering.  ``plan=False`` restores the plain
+    FIFO queue (existing priorities/edges in the store still apply).
     """
+    from .planner import plan as plan_grids
+
     db_path = str(db_path)
     start = time.perf_counter()
     names = [registry.get_spec(name).name for name in experiments] if experiments else None
     if do_populate is None:
         do_populate = names is not None
     report = RunReport(workers=max(1, int(workers)))
+    claim_names = names
     with ExperimentStore(db_path) as store:
         if do_populate:
             if names is None:
                 raise ValueError("populate requires an explicit experiment list")
             report.populated = populate(store, names, quick=quick, seed=seed)
+        if plan and names is not None:
+            plan_report = plan_grids(
+                store,
+                names,
+                quick=quick,
+                seed=seed,
+                workers=report.workers,
+                populate_rows=False,
+                # Hoisted results travel via the persistent cache; without
+                # it a prerequisite row would be dead weight.
+                hoist=use_cache,
+            )
+            report.hoisted = len(plan_report.hoisted)
+            report.dependency_edges = plan_report.edges
+        if names is not None:
+            # Workers must be able to claim the prerequisite rows their
+            # cells are gated on — including with plan=False, whose contract
+            # is "FIFO claiming, no new planning": edges already in the
+            # store still apply, so stranding their prereq rows outside the
+            # claim scope would leave gated cells pending forever while the
+            # run exits 0.  Unfinished prereq rows of *earlier* plans are
+            # picked up too — finishing them only warms the cache their
+            # dependents are waiting for.  "running" counts: an orphaned
+            # prereq claimed by a dead worker must fall inside the reclaim
+            # and claim scope or its dependents would wait on it forever.
+            prereq_counts = store.status_counts().get(PREREQ_EXPERIMENT, {})
+            unfinished_prereqs = prereq_counts.get("pending", 0) + prereq_counts.get(
+                "running", 0
+            )
+            if PREREQ_EXPERIMENT not in names and unfinished_prereqs:
+                claim_names = names + [PREREQ_EXPERIMENT]
         report.reclaimed = store.reclaim_stale(
-            older_than=stale_after, experiments=names
+            older_than=stale_after, experiments=claim_names
         )
-        pending = store.pending_count(names)
+        pending = store.pending_count(claim_names)
     if pending > 0:
         pid = os.getpid()
         if report.workers == 1:
             report.merge(
                 run_worker(
                     db_path,
-                    names,
+                    claim_names,
                     f"w0.{pid}",
                     use_cache=use_cache,
                     solver_servers=solver_servers,
+                    stale_after=stale_after,
                 )
             )
         else:
@@ -189,10 +303,11 @@ def run_pool(
                     pool.submit(
                         run_worker,
                         db_path,
-                        names,
+                        claim_names,
                         f"w{i}.{pid}",
                         use_cache=use_cache,
                         solver_servers=solver_servers,
+                        stale_after=stale_after,
                     )
                     for i in range(report.workers)
                 ]

@@ -1,0 +1,214 @@
+"""Cost-aware scheduling: turning FIFO claiming into a makespan minimiser.
+
+The paper's experiment grids mix cells whose durations differ by orders of
+magnitude (an exact MILP on 32 jobs versus an LPT run on 10).  With FIFO
+claiming an expensive cell picked up late dangles off the end of the run and
+dominates the wall time; claiming *longest-expected-first* is exactly the LPT
+rule the paper studies, applied to the experiment run itself, and carries the
+same Graham guarantee (makespan at most ``4/3 - 1/(3w)`` times optimal for
+``w`` workers when the estimates are right).
+
+Two pieces live here:
+
+* :class:`CostModel` — per-experiment cost estimates fitted from the
+  ``duration`` history persisted in the store, with the grid-declared
+  ``cost_hint`` of the :class:`~repro.orchestration.registry.ExperimentSpec`
+  as the shape prior (history rescales the hint; without history the raw
+  hint is used; without either, a constant).  Estimates are written to the
+  ``priority`` / ``cost_estimate`` columns, which
+  :meth:`~repro.orchestration.store.ExperimentStore.claim_next` consumes.
+* :func:`claim_order` / :func:`simulate_makespan` — a faithful in-memory
+  model of the claim loop (priority order, FIFO interleave every
+  ``fifo_every``-th claim, workers grabbing the next row as they free up),
+  used by the planner's projections and by the scheduler test battery.
+
+Starvation: pure longest-first claiming can starve a cheap cell behind an
+arbitrarily long stream of expensive ones.  The store therefore takes the
+*oldest* claimable row on every ``fifo_every``-th claim, which bounds any
+cell's wait at ``position * fifo_every`` claims — the deterministic
+bounded-wait property the tests pin down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from .store import ExperimentStore, params_hash
+
+__all__ = [
+    "DEFAULT_COST",
+    "CostModel",
+    "ExperimentCosts",
+    "claim_order",
+    "plan_priorities",
+    "simulate_makespan",
+]
+
+# Cost assigned when neither duration history nor a grid hint exists.  Its
+# absolute value is irrelevant (priorities only order rows); all-equal
+# estimates degrade claiming to FIFO, the pre-scheduling behaviour.
+DEFAULT_COST = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentCosts:
+    """Fitted per-experiment statistics backing one :class:`CostModel`."""
+
+    samples: int
+    mean_duration: float | None  # mean observed cell duration (seconds)
+    hint_scale: float | None  # seconds per hint unit, when hints cover history
+
+
+class CostModel:
+    """Expected cell durations from stored history plus grid cost hints."""
+
+    def __init__(self, per_experiment: Mapping[str, ExperimentCosts] | None = None) -> None:
+        self.per_experiment = dict(per_experiment or {})
+
+    @classmethod
+    def fit(
+        cls, store: ExperimentStore, experiments: Sequence[str] | None = None
+    ) -> "CostModel":
+        """Fit from the ``duration`` column of completed rows.
+
+        For every experiment with history the mean duration is recorded;
+        when the spec declares a ``cost_hint`` the mean *per hint unit* is
+        recorded too, so within-experiment variation (an E3 cell at n=128
+        versus n=16) is captured instead of averaged away.
+        """
+        grouped: dict[str, list[tuple[dict[str, Any], float]]] = {}
+        for experiment, params, duration in store.duration_history(experiments):
+            grouped.setdefault(experiment, []).append((params, duration))
+        fitted: dict[str, ExperimentCosts] = {}
+        for experiment, samples in grouped.items():
+            durations = [duration for _, duration in samples]
+            mean_duration = sum(durations) / len(durations)
+            hint_scale = None
+            hints = [
+                _spec_hint(experiment, params) for params, _ in samples
+            ]
+            if all(hint is not None and hint > 0 for hint in hints):
+                mean_hint = sum(hints) / len(hints)  # type: ignore[arg-type]
+                if mean_hint > 0:
+                    hint_scale = mean_duration / mean_hint
+            fitted[experiment] = ExperimentCosts(
+                samples=len(samples),
+                mean_duration=mean_duration,
+                hint_scale=hint_scale,
+            )
+        return cls(fitted)
+
+    def estimate(self, experiment: str, params: Mapping[str, Any]) -> float:
+        """Expected duration (seconds, or hint units without history) of one cell."""
+        costs = self.per_experiment.get(experiment)
+        hint = _spec_hint(experiment, params)
+        if costs is not None:
+            if hint is not None and costs.hint_scale is not None:
+                return max(costs.hint_scale * hint, 0.0)
+            if costs.mean_duration is not None:
+                return costs.mean_duration
+        if hint is not None:
+            return max(float(hint), 0.0)
+        return DEFAULT_COST
+
+
+def _spec_hint(experiment: str, params: Mapping[str, Any]) -> float | None:
+    """The grid-declared relative cost of one cell, when the spec has one."""
+    from . import registry  # local import: registry pulls in the grids lazily
+
+    try:
+        spec = registry.get_spec(experiment)
+    except KeyError:
+        return None  # rows of retired/ad-hoc experiments still schedule
+    if spec.cost_hint is None:
+        return None
+    try:
+        return float(spec.cost_hint(dict(params)))
+    except Exception:
+        return None  # a broken hint must never block scheduling
+
+
+def plan_priorities(
+    store: ExperimentStore,
+    experiments: Sequence[str] | None = None,
+    *,
+    model: CostModel | None = None,
+) -> dict[str, Any]:
+    """Write cost-model priorities onto every pending row (longest first).
+
+    Returns a summary: rows updated and the per-experiment estimate totals
+    (used by ``repro orch plan``).  Prerequisite rows get an extra gate
+    boost from the planner on top of this pass.
+    """
+    if model is None:
+        model = CostModel.fit(store, None)  # all history, even other experiments
+    entries: list[tuple[str, str, float, float | None]] = []
+    totals: dict[str, float] = {}
+    names = experiments if experiments is not None else store.experiments()
+    for experiment in names:
+        for row in store.fetch_rows(experiment, status="pending"):
+            estimate = model.estimate(experiment, row.params)
+            entries.append(
+                (experiment, params_hash(experiment, row.params), estimate, estimate)
+            )
+            totals[experiment] = totals.get(experiment, 0.0) + estimate
+    updated = store.set_schedule(entries)
+    return {"updated": updated, "totals": totals}
+
+
+def claim_order(costs: Sequence[float], *, fifo_every: int = 0) -> list[int]:
+    """The exact sequence of indices the store's claim loop would hand out.
+
+    Highest cost first (ties broken by insertion index, like the SQL
+    ``ORDER BY priority DESC, id``); with ``fifo_every > 0`` every
+    ``fifo_every``-th claim takes the oldest remaining index instead.
+    """
+    remaining = list(range(len(costs)))
+    order: list[int] = []
+    claim_no = 0
+    while remaining:
+        claim_no += 1
+        if fifo_every > 0 and claim_no % fifo_every == 0:
+            pick = 0  # oldest remaining (list stays id-sorted)
+        else:
+            pick = max(
+                range(len(remaining)),
+                key=lambda slot: (costs[remaining[slot]], -remaining[slot]),
+            )
+        order.append(remaining.pop(pick))
+    return order
+
+
+def simulate_makespan(
+    costs: Sequence[float],
+    workers: int,
+    *,
+    order: str = "priority",
+    fifo_every: int = 0,
+) -> float:
+    """Makespan of the claim loop on ``workers`` parallel workers.
+
+    ``order="fifo"`` claims in insertion order (the pre-scheduling store);
+    ``order="priority"`` claims through :func:`claim_order`.  Workers claim
+    the next row the moment they free up — classic list scheduling, which is
+    exactly what the claim-execute loop implements.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if order == "fifo":
+        sequence: Sequence[int] = range(len(costs))
+    elif order == "priority":
+        sequence = claim_order(costs, fifo_every=fifo_every)
+    else:
+        raise ValueError(f"unknown order {order!r}; expected 'fifo' or 'priority'")
+    free = [0.0] * workers
+    heapq.heapify(free)
+    makespan = 0.0
+    for index in sequence:
+        start = heapq.heappop(free)
+        finish = start + float(costs[index])
+        heapq.heappush(free, finish)
+        makespan = max(makespan, finish)
+    return makespan

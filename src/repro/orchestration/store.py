@@ -13,6 +13,25 @@ A *store* is a single SQLite file (WAL mode) holding two tables:
     filesystems don't provide — multi-machine operation needs a server-backed
     store (see the ROADMAP).
 
+    Scheduling columns (added by PR 3, migrated in-place on open):
+
+    * ``priority`` / ``cost_estimate`` — assigned by
+      :mod:`repro.orchestration.scheduling`; claiming is highest-priority
+      first (longest-expected-first shrinks the makespan of the run itself)
+      with a bounded-wait guarantee: every ``fifo_every``-th claim takes the
+      *oldest* pending row instead, so cheap cells are never starved by a
+      stream of expensive ones.  The claim ordinal lives in the shared
+      ``scheduler_state`` table, so the interleave is global across workers.
+    * ``depends_on`` / ``deps_pending`` — prerequisite edges installed by
+      :mod:`repro.orchestration.planner`.  ``depends_on`` is a JSON array of
+      the ``param_hash`` values this row is gated on; ``deps_pending`` is the
+      denormalised count of those not yet ``done``.  Rows with
+      ``deps_pending > 0`` are never handed to a worker; a guarded
+      :meth:`ExperimentStore.complete` decrements its dependents, and
+      :meth:`ExperimentStore.reclaim_stale` / :meth:`ExperimentStore.reset`
+      recompute the counters from ground truth so a reclaimed prerequisite
+      re-blocks its dependents instead of leaking a half-satisfied edge.
+
 ``cache``
     Content-addressed solver results keyed by
     ``sha256(instance digest, solver name, config)`` — see
@@ -46,22 +65,25 @@ STATUSES = ("pending", "running", "done", "error")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
-    id          INTEGER PRIMARY KEY AUTOINCREMENT,
-    experiment  TEXT NOT NULL,
-    params      TEXT NOT NULL,
-    param_hash  TEXT NOT NULL,
-    status      TEXT NOT NULL DEFAULT 'pending',
-    result      TEXT,
-    error       TEXT,
-    worker      TEXT,
-    attempts    INTEGER NOT NULL DEFAULT 0,
-    created_at  REAL NOT NULL,
-    claimed_at  REAL,
-    finished_at REAL,
-    duration    REAL,
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment    TEXT NOT NULL,
+    params        TEXT NOT NULL,
+    param_hash    TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'pending',
+    result        TEXT,
+    error         TEXT,
+    worker        TEXT,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    created_at    REAL NOT NULL,
+    claimed_at    REAL,
+    finished_at   REAL,
+    duration      REAL,
+    priority      REAL NOT NULL DEFAULT 0,
+    cost_estimate REAL,
+    depends_on    TEXT,
+    deps_pending  INTEGER NOT NULL DEFAULT 0,
     UNIQUE (experiment, param_hash)
 );
-CREATE INDEX IF NOT EXISTS idx_runs_status ON runs (experiment, status);
 CREATE TABLE IF NOT EXISTS cache (
     key        TEXT PRIMARY KEY,
     solver     TEXT NOT NULL,
@@ -69,6 +91,25 @@ CREATE TABLE IF NOT EXISTS cache (
     created_at REAL NOT NULL,
     hits       INTEGER NOT NULL DEFAULT 0
 );
+CREATE TABLE IF NOT EXISTS scheduler_state (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+# Scheduling columns arrived after the first released schema; stores created
+# by older code are migrated in place (ALTER TABLE is cheap and idempotent).
+_RUNS_MIGRATIONS = {
+    "priority": "ALTER TABLE runs ADD COLUMN priority REAL NOT NULL DEFAULT 0",
+    "cost_estimate": "ALTER TABLE runs ADD COLUMN cost_estimate REAL",
+    "depends_on": "ALTER TABLE runs ADD COLUMN depends_on TEXT",
+    "deps_pending": "ALTER TABLE runs ADD COLUMN deps_pending INTEGER NOT NULL DEFAULT 0",
+}
+
+# Created after the column migration: they reference migrated columns.
+_INDEXES = """
+CREATE INDEX IF NOT EXISTS idx_runs_status ON runs (experiment, status);
+CREATE INDEX IF NOT EXISTS idx_runs_claim ON runs (status, deps_pending, priority);
 """
 
 
@@ -123,15 +164,29 @@ class StoredRow:
     worker: str | None
     attempts: int
     duration: float | None
+    priority: float = 0.0
+    cost_estimate: float | None = None
+    depends_on: tuple[str, ...] = ()
+    deps_pending: int = 0
 
 
 class ExperimentStore:
     """Persistent registry of experiment grid rows plus the result cache."""
 
-    def __init__(self, path: str | os.PathLike[str], *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        timeout: float = 30.0,
+        fifo_every: int = 4,
+    ) -> None:
         self.path = Path(path)
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Bounded-wait knob: every fifo_every-th successful claim takes the
+        # oldest pending row instead of the highest-priority one (0 disables
+        # the interleave, giving pure priority order).
+        self.fifo_every = max(0, int(fifo_every))
         # isolation_level=None -> autocommit; transactions are explicit
         # (BEGIN IMMEDIATE) exactly where atomicity matters.
         self._conn = sqlite3.connect(self.path, timeout=timeout, isolation_level=None)
@@ -139,6 +194,11 @@ class ExperimentStore:
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
+        existing = {row["name"] for row in self._conn.execute("PRAGMA table_info(runs)")}
+        for column, statement in _RUNS_MIGRATIONS.items():
+            if column not in existing:
+                self._conn.execute(statement)
+        self._conn.executescript(_INDEXES)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -181,20 +241,33 @@ class ExperimentStore:
     def claim_next(
         self, worker: str, experiments: Sequence[str] | None = None
     ) -> ClaimedRow | None:
-        """Atomically claim the oldest pending row (optionally filtered).
+        """Atomically claim the best pending row (optionally filtered).
+
+        Rows are claimed highest ``priority`` first (ties broken by insertion
+        order, so an unplanned store degrades to FIFO), skipping rows still
+        blocked on prerequisites (``deps_pending > 0``).  Every
+        ``fifo_every``-th successful claim — counted globally across workers
+        via the ``scheduler_state`` table — takes the *oldest* claimable row
+        instead, which bounds the wait of any cell at
+        ``position * fifo_every`` claims regardless of its priority.
 
         ``BEGIN IMMEDIATE`` takes the SQLite write lock before the SELECT, so
         two workers can never observe (and claim) the same pending row.
         """
-        query = "SELECT id, experiment, params FROM runs WHERE status = 'pending'"
+        query = (
+            "SELECT id, experiment, params FROM runs "
+            "WHERE status = 'pending' AND deps_pending = 0"
+        )
         args: list[Any] = []
         if experiments:
             placeholders = ",".join("?" for _ in experiments)
             query += f" AND experiment IN ({placeholders})"
             args.extend(experiments)
-        query += " ORDER BY id LIMIT 1"
         self._conn.execute("BEGIN IMMEDIATE")
         try:
+            ordinal = self._next_claim_ordinal()
+            fifo_turn = self.fifo_every > 0 and ordinal % self.fifo_every == 0
+            query += " ORDER BY id LIMIT 1" if fifo_turn else " ORDER BY priority DESC, id LIMIT 1"
             row = self._conn.execute(query, args).fetchone()
             if row is None:
                 self._conn.execute("COMMIT")
@@ -204,11 +277,25 @@ class ExperimentStore:
                 "attempts = attempts + 1, error = NULL WHERE id = ?",
                 (worker, time.time(), row["id"]),
             )
+            # The ordinal only advances on a successful claim, so the FIFO
+            # interleave pattern is a deterministic function of the claim
+            # sequence, not of how often idle workers poll.
+            self._conn.execute(
+                "INSERT INTO scheduler_state (key, value) VALUES ('claims', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (ordinal,),
+            )
             self._conn.execute("COMMIT")
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
         return ClaimedRow(id=row["id"], experiment=row["experiment"], params=json.loads(row["params"]))
+
+    def _next_claim_ordinal(self) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM scheduler_state WHERE key = 'claims'"
+        ).fetchone()
+        return (int(row["value"]) if row is not None else 0) + 1
 
     def complete(
         self,
@@ -225,6 +312,11 @@ class ExperimentStore:
         while this worker was still computing, the late writeback is dropped
         instead of clobbering the new owner's state.  Returns whether the
         write landed.
+
+        When the write lands, pending rows listing this row's ``param_hash``
+        in ``depends_on`` have their ``deps_pending`` counter decremented —
+        in the same transaction, and *only* when the guard landed, so a late
+        writeback from a reclaimed worker can never half-satisfy an edge.
         """
         query = (
             "UPDATE runs SET status = 'done', result = ?, finished_at = ?, duration = ? "
@@ -234,7 +326,34 @@ class ExperimentStore:
         if worker is not None:
             query += " AND worker = ?"
             args.append(worker)
-        return self._conn.execute(query, args).rowcount == 1
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            landed = self._conn.execute(query, args).rowcount == 1
+            if landed:
+                self._release_dependents(row_id)
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return landed
+
+    def _release_dependents(self, row_id: int) -> None:
+        """Decrement ``deps_pending`` of pending rows gated on ``row_id``.
+
+        ``depends_on`` holds fixed-length hex hashes inside a JSON array, so
+        a plain substring match (``instr``) cannot produce false positives.
+        """
+        row = self._conn.execute(
+            "SELECT param_hash FROM runs WHERE id = ?", (row_id,)
+        ).fetchone()
+        if row is None:
+            return
+        self._conn.execute(
+            "UPDATE runs SET deps_pending = MAX(deps_pending - 1, 0) "
+            "WHERE status = 'pending' AND depends_on IS NOT NULL "
+            "AND instr(depends_on, ?) > 0",
+            (row["param_hash"],),
+        )
 
     def fail(
         self, row_id: int, error: str, *, duration: float, worker: str | None = None
@@ -264,6 +383,14 @@ class ExperimentStore:
         finished work.  ``experiments`` restricts the reclaim so a runner
         never steals in-progress rows of experiments it was not asked to run
         (another invocation may legitimately be working on those).
+
+        Reclaiming also clears the scheduling bookkeeping: ``deps_pending``
+        counters of every pending row with dependencies are recomputed from
+        ground truth (dependents of reclaimed rows may live in *other*
+        experiments, so the recompute is deliberately unscoped).  A worker
+        that died mid-transaction — or whose late writeback decremented an
+        edge it no longer owned — can therefore never leave a prerequisite's
+        dependents half-unblocked: a reclaimed prerequisite re-blocks them.
         """
         query = (
             "UPDATE runs SET status = 'pending', worker = NULL, claimed_at = NULL "
@@ -274,6 +401,8 @@ class ExperimentStore:
             query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
             args.extend(experiments)
         cursor = self._conn.execute(query, args)
+        if cursor.rowcount:
+            self.sync_dependencies()
         return cursor.rowcount
 
     def reset(
@@ -282,7 +411,11 @@ class ExperimentStore:
         *,
         statuses: Sequence[str] = ("running", "error"),
     ) -> int:
-        """Move rows of the given statuses back to ``pending`` (results cleared)."""
+        """Move rows of the given statuses back to ``pending`` (results cleared).
+
+        Dependency counters are recomputed afterwards: resetting a completed
+        prerequisite re-blocks its still-pending dependents.
+        """
         query = (
             "UPDATE runs SET status = 'pending', result = NULL, error = NULL, "
             "worker = NULL, claimed_at = NULL, finished_at = NULL, duration = NULL "
@@ -293,6 +426,8 @@ class ExperimentStore:
             query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
             args.extend(experiments)
         cursor = self._conn.execute(query, args)
+        if cursor.rowcount:
+            self.sync_dependencies()
         return cursor.rowcount
 
     def delete_rows(
@@ -318,7 +453,220 @@ class ExperimentStore:
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
         cursor = self._conn.execute(query, args)
+        if cursor.rowcount:
+            self.sync_dependencies()
         return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    # Scheduling: priorities and prerequisite edges
+    # ------------------------------------------------------------------
+    def set_schedule(
+        self, entries: Iterable[tuple[str, str, float, float | None]]
+    ) -> int:
+        """Bulk-assign ``(priority, cost_estimate)`` to pending rows.
+
+        ``entries`` are ``(experiment, param_hash, priority, cost_estimate)``
+        tuples.  Rows already claimed or finished keep their values (their
+        scheduling decision has been spent); returns how many rows changed.
+        """
+        changed = 0
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            for experiment, param_hash, priority, cost_estimate in entries:
+                cursor = self._conn.execute(
+                    "UPDATE runs SET priority = ?, cost_estimate = ? "
+                    "WHERE experiment = ? AND param_hash = ? AND status = 'pending'",
+                    (float(priority), cost_estimate, experiment, param_hash),
+                )
+                changed += cursor.rowcount
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return changed
+
+    def set_dependencies(
+        self, experiment: str, param_hash: str, depends_on: Sequence[str]
+    ) -> bool:
+        """Gate one pending row on the rows named by ``depends_on`` hashes.
+
+        ``param_hash`` values are globally unique (they hash the experiment
+        name too), so edges may point across experiments.  ``deps_pending``
+        is initialised from current dependency statuses — dependencies that
+        are already ``done`` never block.  Rows that are not ``pending`` are
+        left untouched (their result stands); returns whether the edge set
+        was applied.
+        """
+        deps = sorted(set(depends_on))
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            pending = self._count_unfinished(deps)
+            cursor = self._conn.execute(
+                "UPDATE runs SET depends_on = ?, deps_pending = ? "
+                "WHERE experiment = ? AND param_hash = ? AND status = 'pending'",
+                (json.dumps(deps), pending, experiment, param_hash),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return cursor.rowcount == 1
+
+    def _count_unfinished(self, deps: Sequence[str]) -> int:
+        """How many of ``deps`` are not ``done`` (missing rows count as unfinished)."""
+        if not deps:
+            return 0
+        placeholders = ",".join("?" for _ in deps)
+        done = self._conn.execute(
+            f"SELECT COUNT(*) FROM runs WHERE param_hash IN ({placeholders}) "
+            "AND status = 'done'",
+            list(deps),
+        ).fetchone()[0]
+        return len(deps) - int(done)
+
+    def sync_dependencies(self, experiments: Sequence[str] | None = None) -> int:
+        """Recompute ``deps_pending`` of pending rows from dependency statuses.
+
+        The counters are denormalised for cheap claiming; this is the ground
+        truth repair used by :meth:`reclaim_stale` / :meth:`reset` and the
+        runner's blocked-row housekeeping.  Returns how many rows changed.
+        """
+        query = (
+            "SELECT id, depends_on, deps_pending FROM runs "
+            "WHERE status = 'pending' AND depends_on IS NOT NULL"
+        )
+        args: list[Any] = []
+        if experiments:
+            query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
+            args.extend(experiments)
+        changed = 0
+        for row in self._conn.execute(query, args).fetchall():
+            deps = json.loads(row["depends_on"])
+            pending = self._count_unfinished(deps)
+            if pending != row["deps_pending"]:
+                self._conn.execute(
+                    "UPDATE runs SET deps_pending = ? WHERE id = ?",
+                    (pending, row["id"]),
+                )
+                changed += 1
+        return changed
+
+    def blocked_count(self, experiments: Sequence[str] | None = None) -> int:
+        """Pending rows currently gated on unfinished prerequisites."""
+        query = "SELECT COUNT(*) FROM runs WHERE status = 'pending' AND deps_pending > 0"
+        args: list[Any] = []
+        if experiments:
+            query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
+            args.extend(experiments)
+        return int(self._conn.execute(query, args).fetchone()[0])
+
+    def blocking_dependencies(
+        self, experiments: Sequence[str] | None = None
+    ) -> list[dict[str, Any]]:
+        """The unfinished prerequisites gating pending rows (deduplicated).
+
+        Each entry is ``{"param_hash", "experiment", "status",
+        "deps_pending"}`` (the dependency row's *own* blocked counter, so
+        callers can tell a claimable pending dependency from one that is
+        itself gated); ``experiment``/``status`` are ``None`` when the
+        dependency row does not exist (e.g. a deleted prerequisite) — such
+        rows can never unblock on their own.
+        """
+        query = (
+            "SELECT depends_on FROM runs "
+            "WHERE status = 'pending' AND deps_pending > 0 AND depends_on IS NOT NULL"
+        )
+        args: list[Any] = []
+        if experiments:
+            query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
+            args.extend(experiments)
+        hashes: list[str] = []
+        seen: set[str] = set()
+        for row in self._conn.execute(query, args):
+            for dep in json.loads(row["depends_on"]):
+                if dep not in seen:
+                    seen.add(dep)
+                    hashes.append(dep)
+        out: list[dict[str, Any]] = []
+        for dep in hashes:
+            dep_row = self._conn.execute(
+                "SELECT experiment, status, deps_pending FROM runs WHERE param_hash = ?",
+                (dep,),
+            ).fetchone()
+            if dep_row is not None and dep_row["status"] == "done":
+                continue  # satisfied; a sync_dependencies pass will release it
+            out.append(
+                {
+                    "param_hash": dep,
+                    "experiment": dep_row["experiment"] if dep_row else None,
+                    "status": dep_row["status"] if dep_row else None,
+                    "deps_pending": int(dep_row["deps_pending"]) if dep_row else None,
+                }
+            )
+        return out
+
+    def fail_blocked_on_error(self, experiments: Sequence[str] | None = None) -> int:
+        """Cascade prerequisite failures: block-waiting on a dead edge is worse.
+
+        Pending rows any of whose dependencies errored are marked ``error``
+        themselves (the message names the failed prerequisite), iterating so
+        chains of dependents collapse in one call.  Returns how many rows
+        were failed.
+        """
+        total = 0
+        while True:
+            error_hashes = [
+                row["param_hash"]
+                for row in self._conn.execute(
+                    "SELECT param_hash FROM runs WHERE status = 'error'"
+                )
+            ]
+            if not error_hashes:
+                return total
+            query = (
+                "SELECT id, depends_on FROM runs "
+                "WHERE status = 'pending' AND depends_on IS NOT NULL"
+            )
+            args: list[Any] = []
+            if experiments:
+                query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
+                args.extend(experiments)
+            failed_here = 0
+            error_set = set(error_hashes)
+            for row in self._conn.execute(query, args).fetchall():
+                broken = sorted(error_set.intersection(json.loads(row["depends_on"])))
+                if broken:
+                    self._conn.execute(
+                        "UPDATE runs SET status = 'error', error = ?, finished_at = ? "
+                        "WHERE id = ? AND status = 'pending'",
+                        (
+                            f"prerequisite failed: {', '.join(broken)}",
+                            time.time(),
+                            row["id"],
+                        ),
+                    )
+                    failed_here += 1
+            total += failed_here
+            if not failed_here:
+                return total
+
+    def duration_history(
+        self, experiments: Sequence[str] | None = None
+    ) -> list[tuple[str, dict[str, Any], float]]:
+        """``(experiment, params, duration)`` of every completed row."""
+        query = (
+            "SELECT experiment, params, duration FROM runs "
+            "WHERE status = 'done' AND duration IS NOT NULL"
+        )
+        args: list[Any] = []
+        if experiments:
+            query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
+            args.extend(experiments)
+        query += " ORDER BY id"
+        return [
+            (row["experiment"], json.loads(row["params"]), float(row["duration"]))
+            for row in self._conn.execute(query, args)
+        ]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -363,6 +711,12 @@ class ExperimentStore:
                     worker=row["worker"],
                     attempts=row["attempts"],
                     duration=row["duration"],
+                    priority=float(row["priority"]),
+                    cost_estimate=row["cost_estimate"],
+                    depends_on=tuple(json.loads(row["depends_on"]))
+                    if row["depends_on"]
+                    else (),
+                    deps_pending=int(row["deps_pending"]),
                 )
             )
         return out
@@ -378,6 +732,15 @@ class ExperimentStore:
     # ------------------------------------------------------------------
     # Result cache (used by repro.orchestration.cache)
     # ------------------------------------------------------------------
+    def cache_contains(self, key: str) -> bool:
+        """Whether a cache entry exists, without bumping its hit counter.
+
+        Used by the planner to skip hoisting prerequisites whose results are
+        already cached (their dependents will hit the cache anyway).
+        """
+        row = self._conn.execute("SELECT 1 FROM cache WHERE key = ?", (key,)).fetchone()
+        return row is not None
+
     def cache_get(self, key: str) -> dict[str, Any] | None:
         row = self._conn.execute("SELECT payload FROM cache WHERE key = ?", (key,)).fetchone()
         if row is None:

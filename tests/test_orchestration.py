@@ -73,6 +73,20 @@ class TestGrids:
         with pytest.raises(KeyError):
             registry.get_spec("e99")
 
+    def test_timing_insensitive_cells_follow_the_solver_pool(self):
+        """E1/E2/E8 EPTAS configs opt into speculative batching when a pool
+        is installed; without one they stay at 1 (sequential search)."""
+        from types import SimpleNamespace
+
+        from repro.orchestration.grids import _pool_guesses
+        from repro.solver import SolverService
+        from repro.solver.service import service_scope
+
+        assert _pool_guesses() == 1
+        pooled = SolverService(pool=SimpleNamespace(num_servers=3))
+        with service_scope(pooled):
+            assert _pool_guesses() == 3
+
 
 # ----------------------------------------------------------------------
 # Store: idempotent population and atomic claiming
@@ -138,6 +152,45 @@ class TestStore:
             assert store.delete_rows(["dummy"], statuses=["error"]) == 1
             assert store.status_counts()["dummy"] == {"done": 1}
             assert store.delete_rows(["dummy"]) == 1  # no filter: everything
+
+    def test_opening_a_pre_scheduling_store_migrates_in_place(self, db_path):
+        """A store created before the scheduling columns existed still works."""
+        import sqlite3
+
+        conn = sqlite3.connect(db_path)
+        conn.executescript(
+            """
+            CREATE TABLE runs (
+                id          INTEGER PRIMARY KEY AUTOINCREMENT,
+                experiment  TEXT NOT NULL,
+                params      TEXT NOT NULL,
+                param_hash  TEXT NOT NULL,
+                status      TEXT NOT NULL DEFAULT 'pending',
+                result      TEXT,
+                error       TEXT,
+                worker      TEXT,
+                attempts    INTEGER NOT NULL DEFAULT 0,
+                created_at  REAL NOT NULL,
+                claimed_at  REAL,
+                finished_at REAL,
+                duration    REAL,
+                UNIQUE (experiment, param_hash)
+            );
+            CREATE INDEX idx_runs_status ON runs (experiment, status);
+            """
+        )
+        conn.execute(
+            "INSERT INTO runs (experiment, params, param_hash, created_at) "
+            "VALUES ('legacy', '{\"x\":1}', 'h1', 0.0)"
+        )
+        conn.commit()
+        conn.close()
+        with ExperimentStore(db_path) as store:
+            row = store.fetch_rows("legacy")[0]
+            assert row.priority == 0.0 and row.deps_pending == 0
+            claimed = store.claim_next("w0")
+            assert claimed is not None and claimed.params == {"x": 1}
+            assert store.complete(claimed.id, {"ok": True}, duration=0.1)
 
     def test_reclaim_stale_only_touches_running(self, db_path):
         with ExperimentStore(db_path) as store:

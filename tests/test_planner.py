@@ -1,0 +1,352 @@
+"""Planner tests: hoisted prerequisites, dependency gating, crash resume.
+
+A toy spec (three cells sharing one expensive sub-solve) exercises the full
+pipeline hermetically; the real E2/E4/E10 grids are planned (instances are
+built, nothing is solved) to prove the paper's overlapping exact optima are
+discovered and hoisted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import lpt_schedule
+from repro.generators import uniform_random_instance
+from repro.orchestration import ExperimentStore, registry, run_pool
+from repro.orchestration.cache import activate_cache, cached_solve, clear_memo, deactivate_cache
+from repro.orchestration.planner import (
+    PREREQ_EXPERIMENT,
+    PrereqCall,
+    discover_prerequisites,
+    plan,
+)
+from repro.orchestration.registry import ExperimentSpec
+from repro.orchestration.store import params_hash
+
+TOY = "toyplan-test"
+TOY_FAIL = "toyfail-test"
+TOY_SOLVER = "toy-opt"
+
+# Counts actual (non-cached) executions of the shared sub-solve.  Inline
+# workers (workers=1) run in this process, so the counter is trustworthy.
+_SHARED_SOLVES: list[int] = []
+
+
+def _shared_instance():
+    return uniform_random_instance(
+        num_jobs=8, num_machines=3, num_bags=4, seed=7
+    ).instance
+
+
+def _toy_compute():
+    _SHARED_SOLVES.append(1)
+    return lpt_schedule(_shared_instance())
+
+
+def _toy_prereqs(*, i: int):
+    return [
+        PrereqCall(
+            instance=_shared_instance(),
+            solver=TOY_SOLVER,
+            compute=_toy_compute,
+            cost_hint=5.0,
+        )
+    ]
+
+
+def _toy_cell(*, i: int):
+    instance = _shared_instance()
+    payload = cached_solve(instance, TOY_SOLVER, _toy_compute)
+    return {"i": i, "opt": payload["makespan"], "cache_hit": payload["cache_hit"]}
+
+
+def _toy_grid(*, quick: bool = True, seed: int = 0):
+    return [{"i": i} for i in range(3)]
+
+
+def _failing_compute():
+    raise RuntimeError("synthetic prerequisite failure")
+
+
+def _toy_fail_prereqs(*, i: int):
+    return [
+        PrereqCall(
+            instance=_shared_instance(),
+            solver="toy-fail",
+            compute=_failing_compute,
+        )
+    ]
+
+
+def _toy_fail_cell(*, i: int):
+    payload = cached_solve(_shared_instance(), "toy-fail", _failing_compute)
+    return {"i": i, "opt": payload["makespan"]}
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path):
+    clear_memo()
+    deactivate_cache()
+    _SHARED_SOLVES.clear()
+    registry.register(
+        ExperimentSpec(
+            name=TOY,
+            experiment_id="TOY",
+            title="toy planner spec",
+            make_grid=_toy_grid,
+            run_cell=_toy_cell,
+            prerequisites=_toy_prereqs,
+        )
+    )
+    registry.register(
+        ExperimentSpec(
+            name=TOY_FAIL,
+            experiment_id="TOYF",
+            title="toy failing prereq spec",
+            make_grid=_toy_grid,
+            run_cell=_toy_fail_cell,
+            prerequisites=_toy_fail_prereqs,
+        )
+    )
+    yield
+    registry._REGISTRY.pop(TOY, None)
+    registry._REGISTRY.pop(TOY_FAIL, None)
+    clear_memo()
+    deactivate_cache()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "planner.db"
+
+
+class TestPlanning:
+    def test_exactly_one_hoisted_row_per_shared_instance(self, db_path):
+        with ExperimentStore(db_path) as store:
+            report = plan(store, [TOY], quick=True, seed=0)
+            assert len(report.hoisted) == 1
+            assert report.hoisted[0].dependents == [
+                (TOY, params_hash(TOY, {"i": i})) for i in range(3)
+            ]
+            assert report.prereq_rows_added == 1
+            assert report.edges == 3
+            prereq_rows = store.fetch_rows(PREREQ_EXPERIMENT)
+            assert len(prereq_rows) == 1
+            assert prereq_rows[0].params["source"] == TOY
+            assert prereq_rows[0].params["solver"] == TOY_SOLVER
+
+    def test_edges_point_at_the_prereq_row(self, db_path):
+        with ExperimentStore(db_path) as store:
+            plan(store, [TOY], quick=True, seed=0)
+            prereq_hash = store.fetch_rows(PREREQ_EXPERIMENT)[0]
+            prereq_hash = params_hash(PREREQ_EXPERIMENT, prereq_hash.params)
+            for row in store.fetch_rows(TOY):
+                assert row.depends_on == (prereq_hash,)
+                assert row.deps_pending == 1
+
+    def test_replanning_is_idempotent(self, db_path):
+        with ExperimentStore(db_path) as store:
+            first = plan(store, [TOY], quick=True, seed=0)
+            second = plan(store, [TOY], quick=True, seed=0)
+            assert first.prereq_rows_added == 1
+            assert second.prereq_rows_added == 0  # same row, not duplicated
+            assert len(store.fetch_rows(PREREQ_EXPERIMENT)) == 1
+            assert second.edges == 3  # edges rewritten identically
+
+    def test_prereq_outranks_its_dependents(self, db_path):
+        """The gate boost puts the prerequisite ahead of everything it gates."""
+        with ExperimentStore(db_path) as store:
+            plan(store, [TOY], quick=True, seed=0)
+            prereq = store.fetch_rows(PREREQ_EXPERIMENT)[0]
+            dependents = store.fetch_rows(TOY)
+            assert prereq.priority > max(row.priority for row in dependents)
+            assert prereq.cost_estimate == pytest.approx(5.0)  # own hint only
+
+    def test_already_cached_prereqs_are_not_hoisted(self, db_path):
+        with ExperimentStore(db_path) as store:
+            activate_cache(db_path)
+            cached_solve(_shared_instance(), TOY_SOLVER, _toy_compute)
+            report = plan(store, [TOY], quick=True, seed=0)
+            assert report.hoisted == []
+            assert report.skipped_cached == 1
+            # Dependents stay ungated: the cache already satisfies them.
+            assert all(row.deps_pending == 0 for row in store.fetch_rows(TOY))
+
+
+class TestExecution:
+    def test_dependents_unclaimable_until_prereq_completes(self, db_path):
+        with ExperimentStore(db_path) as store:
+            plan(store, [TOY], quick=True, seed=0)
+            activate_cache(db_path)
+            first = store.claim_next("w0")
+            assert first is not None and first.experiment == PREREQ_EXPERIMENT
+            # All three dependents exist but none is claimable.
+            assert store.claim_next("w0") is None
+            assert store.blocked_count() == 3
+            result = registry.execute_cell(first.experiment, first.params)
+            store.complete(first.id, result, duration=0.0)
+            claimed = store.claim_next("w0")
+            assert claimed is not None and claimed.experiment == TOY
+
+    def test_run_pool_solves_shared_prereq_exactly_once(self, db_path):
+        """Acceptance: one hoisted solve, cache hits for every dependent."""
+        report = run_pool(db_path, [TOY], workers=1, quick=True, seed=0)
+        assert report.hoisted == 1
+        assert report.dependency_edges == 3
+        assert report.done == 4 and report.errors == 0  # 3 cells + 1 prereq
+        assert len(_SHARED_SOLVES) == 1  # the shared solve ran exactly once
+        with ExperimentStore(db_path) as store:
+            prereq_rows = store.fetch_rows(PREREQ_EXPERIMENT)
+            assert [row.status for row in prereq_rows] == ["done"]
+            assert prereq_rows[0].result["cache_hit"] is False
+            for row in store.fetch_rows(TOY):
+                assert row.status == "done"
+                assert row.result["cache_hit"] is True
+        # The hoisted result is probeable without recomputing anything.
+        from repro.orchestration.cache import cached_payload
+
+        activate_cache(db_path)
+        payload = cached_payload(_shared_instance(), TOY_SOLVER)
+        assert payload is not None
+        assert payload["makespan"] == pytest.approx(prereq_rows[0].result["makespan"])
+        assert len(_SHARED_SOLVES) == 1  # probing never computes
+
+    def test_sigkill_resume_never_loses_or_double_runs_prereq(self, db_path):
+        """PR 1 resume harness applied to a prerequisite row."""
+        with ExperimentStore(db_path) as store:
+            plan(store, [TOY], quick=True, seed=0)
+            # A worker claims the prerequisite and dies (SIGKILL): the row
+            # stays 'running' and the dependents stay blocked.
+            orphan = store.claim_next("w-dead")
+            assert orphan is not None and orphan.experiment == PREREQ_EXPERIMENT
+        report = run_pool(
+            db_path, [TOY], workers=1, quick=True, seed=0, stale_after=0.0
+        )
+        assert report.done == 4 and report.errors == 0
+        assert len(_SHARED_SOLVES) == 1  # never lost, never double-run
+        with ExperimentStore(db_path) as store:
+            prereq = store.fetch_rows(PREREQ_EXPERIMENT)[0]
+            assert prereq.status == "done"
+            assert prereq.attempts == 2  # reclaimed once, completed once
+            assert all(
+                row.result["cache_hit"] for row in store.fetch_rows(TOY)
+            )
+
+    def test_resume_after_prereq_completed_only_runs_dependents(self, db_path):
+        with ExperimentStore(db_path) as store:
+            plan(store, [TOY], quick=True, seed=0)
+            activate_cache(db_path)
+            first = store.claim_next("w0")
+            result = registry.execute_cell(first.experiment, first.params)
+            store.complete(first.id, result, duration=0.0)
+        deactivate_cache()
+        clear_memo()
+        report = run_pool(db_path, [TOY], workers=1, quick=True, seed=0, stale_after=0.0)
+        assert report.done == 3  # only the dependents remained
+        assert len(_SHARED_SOLVES) == 1
+        with ExperimentStore(db_path) as store:
+            assert store.fetch_rows(PREREQ_EXPERIMENT)[0].attempts == 1
+
+    def test_failed_prereq_cascades_to_dependents(self, db_path):
+        report = run_pool(db_path, [TOY_FAIL], workers=1, quick=True, seed=0)
+        assert report.errors >= 1
+        with ExperimentStore(db_path) as store:
+            assert store.fetch_rows(PREREQ_EXPERIMENT)[0].status == "error"
+            for row in store.fetch_rows(TOY_FAIL):
+                assert row.status == "error"
+                assert "prerequisite failed" in row.error
+            assert store.pending_count() == 0  # nothing left hanging
+
+    def test_export_note_reports_scheduling_rollup(self, db_path):
+        from repro.orchestration.export import table_from_store
+
+        run_pool(db_path, [TOY], workers=1, quick=True, seed=0)
+        with ExperimentStore(db_path) as store:
+            table = table_from_store(store, TOY)
+        notes = [note for note in table.notes if note.startswith("scheduling:")]
+        assert len(notes) == 1
+        assert "3/3 cells cost-estimated" in notes[0]
+        assert "3 cells gated on hoisted prerequisites" in notes[0]
+
+    def test_no_plan_resume_still_drains_gated_cells(self, db_path):
+        """--no-plan after an interrupted planned run must not strand the
+        dependents of an unfinished prerequisite (and silently exit 0)."""
+        with ExperimentStore(db_path) as store:
+            plan(store, [TOY], quick=True, seed=0)
+        report = run_pool(
+            db_path, [TOY], workers=1, quick=True, seed=0, plan=False, stale_after=0.0
+        )
+        assert report.hoisted == 0  # no new planning happened...
+        assert report.done == 4  # ...but the existing prereq + cells all ran
+        with ExperimentStore(db_path) as store:
+            assert store.pending_count() == 0
+
+    def test_done_cells_do_not_count_toward_hoisting(self, db_path):
+        """Re-planning a finished-but-uncached grid must not solve a
+        prerequisite that no pending cell will ever read."""
+        run_pool(db_path, [TOY], workers=1, quick=True, seed=0, use_cache=False)
+        with ExperimentStore(db_path) as store:
+            assert store.pending_count() == 0
+            report = plan(store, [TOY], quick=True, seed=0)
+            assert report.hoisted == []
+            assert store.fetch_rows(PREREQ_EXPERIMENT) == []
+
+    def test_dependency_cycle_breaks_out_instead_of_spinning(self, db_path):
+        """A cycle (only constructible via the public set_dependencies API —
+        the planner never creates one) must end the drain, not hang it."""
+        with ExperimentStore(db_path) as store:
+            store.add_rows("cycle-a", [{"x": 1}])
+            store.add_rows("cycle-b", [{"x": 1}])
+            hash_a = params_hash("cycle-a", {"x": 1})
+            hash_b = params_hash("cycle-b", {"x": 1})
+            store.set_dependencies("cycle-a", hash_a, [hash_b])
+            store.set_dependencies("cycle-b", hash_b, [hash_a])
+        report = run_pool(db_path, workers=1, do_populate=False, stale_after=0.0)
+        assert report.claimed == 0  # returned promptly: nothing claimable
+        with ExperimentStore(db_path) as store:
+            assert store.blocked_count() == 2  # rows left for the operator
+
+    def test_no_cache_run_skips_hoisting(self, db_path):
+        report = run_pool(
+            db_path, [TOY], workers=1, quick=True, seed=0, use_cache=False
+        )
+        assert report.hoisted == 0
+        assert report.done == 3
+        with ExperimentStore(db_path) as store:
+            assert store.fetch_rows(PREREQ_EXPERIMENT) == []
+            assert all(row.deps_pending == 0 for row in store.fetch_rows(TOY))
+
+
+class TestRealGrids:
+    def test_e2_e4_e10_overlaps_are_discovered(self):
+        """E4's eps sweep and E10's ablations each share one exact optimum."""
+        groups = discover_prerequisites(["e2", "e4", "e10"], quick=True, seed=0)
+        shared = sorted(
+            (len(group.dependents) for group in groups.values() if len(group.dependents) >= 2),
+            reverse=True,
+        )
+        assert shared == [5, 3]  # all 5 E10 variants; all 3 E4 eps values
+
+    def test_plan_on_real_grids_hoists_shared_prereqs(self, db_path):
+        """Acceptance: a quick E2+E4+E10 populate reports >= 1 hoisted prereq."""
+        with ExperimentStore(db_path) as store:
+            report = plan(store, ["e2", "e4", "e10"], quick=True, seed=0)
+            assert len(report.hoisted) >= 1
+            assert report.dependent_cells == 8
+            assert len(store.fetch_rows(PREREQ_EXPERIMENT)) == len(report.hoisted)
+            gated = [
+                row
+                for name in ("e4", "e10")
+                for row in store.fetch_rows(name)
+                if row.deps_pending
+            ]
+            assert len(gated) == 8
+
+    def test_cli_plan_reports_hoisting(self, db_path, capsys):
+        from repro.cli import main
+
+        code = main(["orch", "plan", "e4", "e10", "--db", str(db_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hoisted 2 shared prerequisites gating 8 cells" in out
+        assert "projected makespan" in out

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the cost-aware claim scheduler.
+
+Three invariants, on random duration distributions:
+
+* **Dominance** on orders-of-magnitude-separated workloads (each expensive
+  cell outweighs everything cheaper combined — the exact-MILP-vs-heuristic
+  regime the paper's grids actually exhibit): priority claiming's simulated
+  makespan is never worse than FIFO for >= 2 workers.  For such
+  super-increasing workloads longest-first claiming is *optimal* (the
+  largest cell dominates and starts immediately), while FIFO can only match
+  or exceed it.
+* **Graham bounds** on arbitrary workloads: any claim order is a list
+  schedule, so priority claiming (even with the bounded-wait interleave) is
+  within ``2 - 1/w`` of FIFO, and pure longest-first claiming is within
+  ``4/3 - 1/(3w)`` (Graham 1969) — claiming by priority can never lose more
+  than that, whatever the estimates do.
+* **Bounded wait**: with the FIFO interleave every ``fifo_every``-th claim,
+  the j-th oldest cell is claimed within ``j * fifo_every`` claims, no
+  matter how adversarial the priorities are — short cells never starve.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orchestration.scheduling import claim_order, simulate_makespan
+
+
+@st.composite
+def separated_workloads(draw):
+    """Durations where each cell exceeds the sum of all cheaper ones.
+
+    Built ascending (value > running total), then shuffled into a random
+    insertion (FIFO) order.  Models grids whose exact-MILP cells dominate
+    every heuristic cell by orders of magnitude.
+    """
+    n = draw(st.integers(min_value=2, max_value=10))
+    costs: list[float] = []
+    total = 0.0
+    for _ in range(n):
+        margin = draw(
+            st.floats(min_value=0.1, max_value=2.0, allow_nan=False, allow_infinity=False)
+        )
+        value = total + margin
+        costs.append(value)
+        total += value
+    order = draw(st.permutations(list(range(n))))
+    return [costs[i] for i in order]
+
+
+@given(costs=separated_workloads(), workers=st.integers(min_value=2, max_value=6))
+@settings(max_examples=200, deadline=None)
+def test_priority_never_worse_than_fifo_on_separated_durations(costs, workers):
+    """Priority claiming beats or matches FIFO on >= 2 workers."""
+    fifo = simulate_makespan(costs, workers, order="fifo")
+    priority = simulate_makespan(costs, workers, order="priority")
+    assert priority <= fifo + 1e-9
+    # For super-increasing durations longest-first is exactly optimal: the
+    # most expensive cell dominates everything else combined.
+    assert priority == max(costs)
+
+
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=20,
+    ),
+    workers=st.integers(min_value=2, max_value=6),
+    fifo_every=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_priority_claiming_within_graham_bounds_of_fifo(costs, workers, fifo_every):
+    fifo = simulate_makespan(costs, workers, order="fifo")
+    priority = simulate_makespan(costs, workers, order="priority", fifo_every=fifo_every)
+    # Any list schedule is within (2 - 1/w) of optimal, and FIFO's makespan
+    # is at least optimal — so even interleaved priority claiming is bounded.
+    assert priority <= (2.0 - 1.0 / workers) * fifo + 1e-6
+    if fifo_every == 0:
+        # Pure longest-first is LPT: Graham's 4/3 - 1/(3w) bound applies.
+        assert priority <= (4.0 / 3.0 - 1.0 / (3.0 * workers)) * fifo + 1e-6
+    # Conservation: no order beats the trivial lower bound.
+    lower = max(max(costs), sum(costs) / workers)
+    assert priority >= lower - 1e-9
+    assert fifo >= lower - 1e-9
+
+
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=30,
+    ),
+    fifo_every=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_bounded_wait_under_adversarial_priorities(costs, fifo_every):
+    """The j-th oldest cell is claimed within j * fifo_every claims."""
+    order = claim_order(costs, fifo_every=fifo_every)
+    assert sorted(order) == list(range(len(costs)))  # a permutation: no loss
+    for age_rank in range(len(costs)):
+        position = order.index(age_rank) + 1
+        assert position <= (age_rank + 1) * fifo_every
+
+
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=15,
+    ),
+    workers=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_priority_order_is_sorted_descending_without_interleave(costs, workers):
+    order = claim_order(costs, fifo_every=0)
+    ordered_costs = [costs[i] for i in order]
+    assert ordered_costs == sorted(costs, reverse=True)
+    # With as many workers as cells, every order gives the same makespan.
+    if workers >= len(costs):
+        assert simulate_makespan(costs, workers, order="priority") == max(costs)

@@ -1,0 +1,340 @@
+"""Deterministic scheduler battery: cost model, priority claiming, bookkeeping.
+
+Pins down the exact behaviour of the cost-aware claim path added in PR 3:
+estimates fitted from stored duration history (grid hints as the shape
+prior), the longest-expected-first claim order, the bounded-wait FIFO
+interleave, and the dependency bookkeeping that `reclaim_stale`/`reset`
+must repair so a reclaimed prerequisite re-blocks its dependents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestration import registry
+from repro.orchestration.cache import clear_memo, deactivate_cache
+from repro.orchestration.registry import ExperimentSpec
+from repro.orchestration.scheduling import (
+    DEFAULT_COST,
+    CostModel,
+    claim_order,
+    plan_priorities,
+    simulate_makespan,
+)
+from repro.orchestration.store import ExperimentStore, params_hash
+
+HINTED = "hinted-test"  # registered per-test; hint = params["n"]
+PLAIN = "plain-test"  # never registered: history-only estimates
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    clear_memo()
+    deactivate_cache()
+    yield
+    clear_memo()
+    deactivate_cache()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "sched.db"
+
+
+def _noop_cell(**params):
+    return dict(params)
+
+
+@pytest.fixture
+def hinted_spec():
+    spec = ExperimentSpec(
+        name=HINTED,
+        experiment_id="HINT",
+        title="scheduling test spec",
+        make_grid=lambda *, quick=True, seed=0: [],
+        run_cell=_noop_cell,
+        cost_hint=lambda p: float(p["n"]),
+    )
+    registry.register(spec)
+    yield spec
+    registry._REGISTRY.pop(HINTED, None)
+
+
+def _complete_with_durations(store, experiment, rows, durations):
+    """Populate ``rows`` and mark them done with the given durations."""
+    store.add_rows(experiment, rows)
+    for duration in durations:
+        claimed = store.claim_next("seeder")
+        assert claimed is not None
+        store.complete(claimed.id, {"ok": True}, duration=duration)
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_history_mean_without_hint(self, db_path):
+        with ExperimentStore(db_path) as store:
+            _complete_with_durations(
+                store, PLAIN, [{"x": i} for i in range(5)], [1.0, 2.0, 3.0, 4.0, 5.0]
+            )
+            model = CostModel.fit(store)
+        assert model.estimate(PLAIN, {"x": 99}) == pytest.approx(3.0)
+
+    def test_hint_alone_without_history(self, db_path, hinted_spec):
+        with ExperimentStore(db_path) as store:
+            model = CostModel.fit(store)
+        assert model.estimate(HINTED, {"n": 7}) == pytest.approx(7.0)
+
+    def test_history_rescales_hint(self, db_path, hinted_spec):
+        # Observed: 2 seconds per hint unit.  A pending cell with n=10 must
+        # be estimated from its own hint, not the historical mean duration.
+        with ExperimentStore(db_path) as store:
+            _complete_with_durations(
+                store, HINTED, [{"n": 2}, {"n": 4}], [4.0, 8.0]
+            )
+            model = CostModel.fit(store)
+        assert model.estimate(HINTED, {"n": 10}) == pytest.approx(20.0)
+        costs = model.per_experiment[HINTED]
+        assert costs.samples == 2
+        assert costs.hint_scale == pytest.approx(2.0)
+
+    def test_unknown_experiment_gets_default(self, db_path):
+        with ExperimentStore(db_path) as store:
+            model = CostModel.fit(store)
+        assert model.estimate("never-seen", {}) == DEFAULT_COST
+
+    def test_broken_hint_never_blocks(self, db_path):
+        spec = ExperimentSpec(
+            name="broken-hint-test",
+            experiment_id="BRK",
+            title="broken hint",
+            make_grid=lambda *, quick=True, seed=0: [],
+            run_cell=_noop_cell,
+            cost_hint=lambda p: p["missing-key"],
+        )
+        registry.register(spec)
+        try:
+            with ExperimentStore(db_path) as store:
+                model = CostModel.fit(store)
+            assert model.estimate("broken-hint-test", {"n": 1}) == DEFAULT_COST
+        finally:
+            registry._REGISTRY.pop("broken-hint-test", None)
+
+
+# ----------------------------------------------------------------------
+# Priority claiming (exact order, bounded wait)
+# ----------------------------------------------------------------------
+class TestPriorityClaiming:
+    def _drain_order(self, store, experiment, key):
+        order = []
+        while True:
+            claimed = store.claim_next("drainer")
+            if claimed is None:
+                return order
+            assert claimed.experiment == experiment
+            order.append(claimed.params[key])
+            store.complete(claimed.id, {}, duration=0.0)
+
+    def test_exact_claim_order_under_cost_model(self, db_path, hinted_spec):
+        """History-fitted priorities give exact longest-expected-first claims."""
+        with ExperimentStore(db_path, fifo_every=0) as store:
+            # Seed history: 1 second per hint unit.
+            _complete_with_durations(
+                store, HINTED, [{"n": 2, "warm": True}, {"n": 4, "warm": True}], [2.0, 4.0]
+            )
+            pending = [{"n": n} for n in (3, 9, 5, 1, 7)]
+            store.add_rows(HINTED, pending)
+            summary = plan_priorities(store, [HINTED], model=CostModel.fit(store))
+            assert summary["updated"] == 5
+            assert summary["totals"][HINTED] == pytest.approx(25.0)
+            assert self._drain_order(store, HINTED, "n") == [9, 7, 5, 3, 1]
+
+    def test_fifo_interleave_matches_simulator(self, db_path):
+        """The store's claim sequence is exactly scheduling.claim_order."""
+        costs = [1.0, 6.0, 2.0, 9.0, 4.0, 8.0, 3.0, 7.0, 5.0]
+        with ExperimentStore(db_path, fifo_every=3) as store:
+            store.add_rows("order-test", [{"i": i} for i in range(len(costs))])
+            store.set_schedule(
+                (
+                    "order-test",
+                    params_hash("order-test", {"i": i}),
+                    cost,
+                    cost,
+                )
+                for i, cost in enumerate(costs)
+            )
+            claimed = self._drain_order(store, "order-test", "i")
+        assert claimed == claim_order(costs, fifo_every=3)
+
+    def test_bounded_wait_never_starves_short_cells(self, db_path):
+        """The oldest (cheapest) cell is claimed within fifo_every claims even
+        though every other pending cell outranks it."""
+        num_rows, fifo_every = 12, 4
+        costs = list(range(1, num_rows + 1))  # oldest row is cheapest
+        with ExperimentStore(db_path, fifo_every=fifo_every) as store:
+            store.add_rows("starve-test", [{"i": i} for i in range(num_rows)])
+            store.set_schedule(
+                (
+                    "starve-test",
+                    params_hash("starve-test", {"i": i}),
+                    float(cost),
+                    float(cost),
+                )
+                for i, cost in enumerate(costs)
+            )
+            claimed = self._drain_order(store, "starve-test", "i")
+        # Bounded wait: the j-th oldest row (0-based j) is claimed within
+        # (j + 1) * fifo_every claims, for every row.
+        for age_rank in range(num_rows):
+            position = claimed.index(age_rank) + 1
+            assert position <= (age_rank + 1) * fifo_every
+        # And specifically the cheapest-oldest row arrives at claim 4, not
+        # at the very end as pure longest-first would schedule it.
+        assert claimed.index(0) + 1 == fifo_every
+
+    def test_equal_priorities_degrade_to_fifo(self, db_path):
+        with ExperimentStore(db_path) as store:
+            store.add_rows("fifo-test", [{"i": i} for i in range(6)])
+            assert self._drain_order(store, "fifo-test", "i") == list(range(6))
+
+
+# ----------------------------------------------------------------------
+# Dependency bookkeeping (the reclaim_stale re-block fix)
+# ----------------------------------------------------------------------
+class TestDependencyBookkeeping:
+    def _one_prereq_one_dependent(self, store):
+        store.add_rows("pre-test", [{"p": 1}])
+        store.add_rows("dep-test", [{"d": 1}])
+        pre_hash = params_hash("pre-test", {"p": 1})
+        dep_hash = params_hash("dep-test", {"d": 1})
+        assert store.set_dependencies("dep-test", dep_hash, [pre_hash])
+        return pre_hash, dep_hash
+
+    def test_blocked_rows_are_never_claimed(self, db_path):
+        with ExperimentStore(db_path) as store:
+            self._one_prereq_one_dependent(store)
+            first = store.claim_next("w0")
+            assert first is not None and first.experiment == "pre-test"
+            # The dependent stays invisible while the prerequisite runs.
+            assert store.claim_next("w0") is None
+            assert store.blocked_count() == 1
+            store.complete(first.id, {"ok": True}, duration=0.0)
+            second = store.claim_next("w0")
+            assert second is not None and second.experiment == "dep-test"
+
+    def test_reclaim_stale_reblocks_dependents(self, db_path):
+        """A reclaimed prerequisite re-blocks its dependents (the PR 3 fix).
+
+        A worker dying between its (guarded) status write and the dependent
+        release — or a clock-skewed late writeback — can leave the edge
+        half-satisfied: the prerequisite is not done yet its dependent's
+        counter says unblocked.  reclaim_stale must repair that, or the
+        dependent runs without its prerequisite's cached result.
+        """
+        with ExperimentStore(db_path) as store:
+            self._one_prereq_one_dependent(store)
+            claimed = store.claim_next("w-dead")
+            assert claimed.experiment == "pre-test"
+            # Simulate the half-satisfied edge the dead worker left behind.
+            store._conn.execute(
+                "UPDATE runs SET deps_pending = 0 WHERE experiment = 'dep-test'"
+            )
+            assert store.reclaim_stale(older_than=0.0) == 1
+            rows = store.fetch_rows("dep-test")
+            assert rows[0].deps_pending == 1  # re-blocked
+            renewed = store.claim_next("w-new")
+            assert renewed is not None and renewed.experiment == "pre-test"
+            assert store.claim_next("w-new") is None
+
+    def test_reset_of_done_prereq_reblocks_dependents(self, db_path):
+        with ExperimentStore(db_path) as store:
+            self._one_prereq_one_dependent(store)
+            claimed = store.claim_next("w0")
+            store.complete(claimed.id, {"ok": True}, duration=0.0)
+            assert store.fetch_rows("dep-test")[0].deps_pending == 0
+            store.reset(["pre-test"], statuses=["done"])
+            assert store.fetch_rows("dep-test")[0].deps_pending == 1
+
+    def test_late_writeback_cannot_double_release(self, db_path):
+        """The dependent release is tied to the guarded status write."""
+        with ExperimentStore(db_path) as store:
+            store.add_rows("pre-test", [{"p": 1}, {"p": 2}])
+            store.add_rows("dep-test", [{"d": 1}])
+            dep_hash = params_hash("dep-test", {"d": 1})
+            deps = [
+                params_hash("pre-test", {"p": 1}),
+                params_hash("pre-test", {"p": 2}),
+            ]
+            assert store.set_dependencies("dep-test", dep_hash, deps)
+            first = store.claim_next("wA")
+            store.reclaim_stale(older_than=0.0)  # wA presumed dead
+            again = store.claim_next("wB")
+            assert again.id == first.id
+            assert store.complete(again.id, {"who": "B"}, duration=0.0, worker="wB")
+            assert store.fetch_rows("dep-test")[0].deps_pending == 1
+            # wA was alive after all: its guarded writeback is dropped and
+            # must NOT decrement the second edge.
+            assert not store.complete(first.id, {"who": "A"}, duration=0.0, worker="wA")
+            assert store.fetch_rows("dep-test")[0].deps_pending == 1
+
+    def test_dependency_on_done_row_never_blocks(self, db_path):
+        with ExperimentStore(db_path) as store:
+            store.add_rows("pre-test", [{"p": 1}])
+            done = store.claim_next("w0")
+            store.complete(done.id, {"ok": True}, duration=0.0)
+            store.add_rows("dep-test", [{"d": 1}])
+            store.set_dependencies(
+                "dep-test",
+                params_hash("dep-test", {"d": 1}),
+                [params_hash("pre-test", {"p": 1})],
+            )
+            claimed = store.claim_next("w0")
+            assert claimed is not None and claimed.experiment == "dep-test"
+
+    def test_fail_blocked_on_error_cascades(self, db_path):
+        with ExperimentStore(db_path) as store:
+            pre_hash, dep_hash = self._one_prereq_one_dependent(store)
+            # A second-level dependent: gated on the first dependent.
+            store.add_rows("dep2-test", [{"d": 2}])
+            store.set_dependencies(
+                "dep2-test", params_hash("dep2-test", {"d": 2}), [dep_hash]
+            )
+            claimed = store.claim_next("w0")
+            store.fail(claimed.id, "boom", duration=0.0)
+            assert store.fail_blocked_on_error() == 2
+            statuses = {
+                row.status
+                for name in ("dep-test", "dep2-test")
+                for row in store.fetch_rows(name)
+            }
+            assert statuses == {"error"}
+            assert "prerequisite failed" in store.fetch_rows("dep-test")[0].error
+
+
+# ----------------------------------------------------------------------
+# Simulator sanity (the hypothesis battery lives in test_property_scheduling)
+# ----------------------------------------------------------------------
+class TestSimulator:
+    def test_priority_beats_fifo_on_expensive_tail(self):
+        # The real grid shape: cheap cells inserted first, the expensive
+        # exact-MILP cell last.  FIFO leaves it dangling off the end.
+        costs = [1.0, 1.0, 1.0, 1.0, 10.0]
+        assert simulate_makespan(costs, 2, order="fifo") == pytest.approx(12.0)
+        assert simulate_makespan(costs, 2, order="priority") == pytest.approx(10.0)
+
+    def test_e3_like_geometric_profile(self):
+        # e3's grid is inserted in ascending n; costs grow superlinearly.
+        costs = [1.0, 4.0, 16.0, 64.0, 256.0]
+        fifo = simulate_makespan(costs, 2, order="fifo")
+        priority = simulate_makespan(costs, 2, order="priority", fifo_every=4)
+        assert priority <= fifo
+
+    def test_claim_order_ties_break_by_insertion(self):
+        assert claim_order([2.0, 2.0, 1.0, 2.0]) == [0, 1, 3, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            simulate_makespan([1.0], 1, order="nope")
