@@ -8,7 +8,7 @@ Commands
 ``experiments``run the DESIGN.md experiments (E1…E10) and print their tables
 ``constants``  print the paper's derived constants / Lemma-6 sizes for an eps
 ``orch``       persistent parallel experiment orchestration
-               (run/plan/status/reset/export)
+               (run/plan/status/priors/reset/export)
 """
 
 from __future__ import annotations
@@ -139,7 +139,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-plan",
         action="store_true",
         help="skip the scheduler: no prerequisite hoisting, FIFO claiming "
-        "(priorities already in the store still apply)",
+        "(priorities already in the store still apply); implies --no-replan",
+    )
+    replan_mode = orch_run.add_mutually_exclusive_group()
+    replan_mode.add_argument(
+        "--replan-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="online re-planning cadence: refit the cost model and re-rank "
+        "pending rows every N landed completions (default: 5)",
+    )
+    replan_mode.add_argument(
+        "--no-replan",
+        action="store_true",
+        help="freeze priorities at the initial plan (no mid-drain refit)",
+    )
+    orch_run.add_argument(
+        "--fifo-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded-wait interleave: every N-th claim takes the oldest "
+        "pending row (default: store default of 4; 0 = pure priority order)",
     )
 
     orch_plan = orch_sub.add_parser(
@@ -164,6 +186,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     orch_status = orch_sub.add_parser("status", help="per-experiment status counts")
     _add_db(orch_status)
+
+    orch_priors = orch_sub.add_parser(
+        "priors",
+        help="ship fitted per-experiment cost scales between stores, so a "
+        "fresh store schedules well before its first duration lands",
+    )
+    priors_sub = orch_priors.add_subparsers(dest="priors_command", required=True)
+    priors_export = priors_sub.add_parser(
+        "export", help="fit the cost model from this store and write priors JSON"
+    )
+    _add_db(priors_export)
+    priors_export.add_argument(
+        "--output",
+        "-o",
+        type=Path,
+        default=Path("priors.json"),
+        help="priors JSON path (default: priors.json)",
+    )
+    priors_import = priors_sub.add_parser(
+        "import",
+        help="load a priors JSON into this store and re-rank its pending rows",
+    )
+    _add_db(priors_import)
+    priors_import.add_argument("path", type=Path, help="priors JSON file")
 
     orch_reset = orch_sub.add_parser(
         "reset", help="move rows back to 'pending' (results cleared, cache kept)"
@@ -336,6 +382,18 @@ def _cmd_orch_run(args: argparse.Namespace) -> int:
                 "for clean timings",
                 file=sys.stderr,
             )
+    if args.fifo_every is not None and args.fifo_every < 0:
+        raise SystemExit("error: --fifo-every must be >= 0 (0 = pure priority order)")
+    if args.no_replan:
+        replan_every = 0
+    elif args.replan_every is not None:
+        if args.replan_every < 1:
+            raise SystemExit("error: --replan-every must be >= 1 (or use --no-replan)")
+        replan_every = args.replan_every
+    else:
+        from .orchestration.runner import DEFAULT_REPLAN_EVERY
+
+        replan_every = DEFAULT_REPLAN_EVERY
     report = run_pool(
         _orch_db_path(args),
         names,
@@ -347,6 +405,8 @@ def _cmd_orch_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         solver_servers=args.solver_servers,
         plan=not args.no_plan,
+        replan_every=replan_every,
+        fifo_every=args.fifo_every,
     )
     print(
         f"populated {report.populated} new rows, reclaimed {report.reclaimed} stale rows"
@@ -358,7 +418,7 @@ def _cmd_orch_run(args: argparse.Namespace) -> int:
         )
     print(
         f"workers={report.workers} claimed={report.claimed} done={report.done} "
-        f"errors={report.errors}"
+        f"errors={report.errors} replans={report.replans}"
     )
     print(f"wall_time_s={report.wall_time:.3f}")
     return 1 if report.errors else 0
@@ -425,6 +485,9 @@ def _cmd_orch_status(args: argparse.Namespace) -> int:
     with ExperimentStore(_orch_db_path(args)) as store:
         counts = store.status_counts()
         cache = store.cache_stats()
+        completions = store.completion_count()
+        epoch = store.replan_epoch()
+        priors = len(store.load_cost_priors())
     table = ExperimentTable("orch", f"store status ({_orch_db_path(args)})")
     for experiment in sorted(counts):
         per_status = counts[experiment]
@@ -438,7 +501,50 @@ def _cmd_orch_status(args: argparse.Namespace) -> int:
             }
         )
     table.add_note(f"cache: {cache['entries']} entries, {cache['hits']} hits")
+    table.add_note(
+        f"scheduler: {completions} completions, re-plan epoch {epoch}, "
+        f"priors for {priors} experiments"
+    )
     print(table.to_text())
+    return 0
+
+
+def _cmd_orch_priors(args: argparse.Namespace) -> int:
+    from .orchestration import ExperimentStore
+    from .orchestration.planner import replan
+    from .orchestration.scheduling import CostModel, load_priors, save_priors
+
+    with ExperimentStore(_orch_db_path(args)) as store:
+        if args.priors_command == "export":
+            # Export only this store's own measured history (no blending of
+            # previously imported priors): re-exporting a blend would count
+            # the same samples again on every export->import round-trip,
+            # inflating the weights until stale priors never fade.
+            model = CostModel.fit(store, use_priors=False)
+            try:
+                count = save_priors(model, args.output)
+            except OSError as exc:
+                raise SystemExit(f"error: cannot write {args.output}: {exc}") from exc
+            if not count:
+                print(
+                    "warning: store has no duration history; "
+                    "wrote an empty priors file",
+                    file=sys.stderr,
+                )
+            print(f"wrote priors for {count} experiments to {args.output}")
+            return 0
+        try:
+            imported = load_priors(args.path)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        store.save_cost_priors(imported.to_priors())
+        # Re-rank pending rows under history + the just-imported priors so
+        # the very next claim benefits (gate boosts recomputed, not wiped).
+        summary = replan(store, model=CostModel.fit(store))
+        print(
+            f"imported priors for {len(imported.per_experiment)} experiments; "
+            f"re-ranked {summary['updated']} pending rows"
+        )
     return 0
 
 
@@ -514,6 +620,7 @@ _ORCH_HANDLERS = {
     "run": _cmd_orch_run,
     "plan": _cmd_orch_plan,
     "status": _cmd_orch_status,
+    "priors": _cmd_orch_priors,
     "reset": _cmd_orch_reset,
     "export": _cmd_orch_export,
 }

@@ -11,7 +11,9 @@ Turns the in-memory experiment drivers into a database-backed engine:
 * :mod:`~repro.orchestration.cache` — content-hash solver-result caching.
 * :mod:`~repro.orchestration.scheduling` — cost model fitted from stored
   durations; claiming becomes longest-expected-first with a bounded-wait
-  FIFO interleave.
+  FIFO interleave.  The model refits online (EWMA) as durations stream in
+  mid-drain, and fitted per-experiment scales ship across stores as JSON
+  priors (``repro orch priors export|import``).
 * :mod:`~repro.orchestration.planner` — dependency-aware grid planning:
   exact-MILP sub-results shared by several cells (E2/E4/E10) are hoisted
   into ``prereq`` rows that gate their dependents via ``depends_on`` edges
@@ -37,10 +39,24 @@ from .cache import (
     deactivate_cache,
     instance_digest,
 )
-from .planner import PREREQ_EXPERIMENT, PlanReport, PrereqCall, plan
+from .planner import (
+    PREREQ_EXPERIMENT,
+    PlanReport,
+    PrereqCall,
+    apply_gate_boosts,
+    plan,
+    replan,
+)
 from .registry import ExperimentSpec, get_spec, run_spec_inline, spec_names
 from .runner import RunReport, populate, run_pool, run_worker
-from .scheduling import CostModel, claim_order, plan_priorities, simulate_makespan
+from .scheduling import (
+    CostModel,
+    claim_order,
+    load_priors,
+    plan_priorities,
+    save_priors,
+    simulate_makespan,
+)
 from .store import ExperimentStore, canonical_params, params_hash
 
 __all__ = [
@@ -53,6 +69,7 @@ __all__ = [
     "RunReport",
     "activate_cache",
     "active_cache",
+    "apply_gate_boosts",
     "cached_payload",
     "cached_solve",
     "canonical_params",
@@ -61,14 +78,17 @@ __all__ = [
     "export",
     "get_spec",
     "instance_digest",
+    "load_priors",
     "params_hash",
     "plan",
     "plan_priorities",
     "populate",
     "registry",
+    "replan",
     "run_pool",
     "run_spec_inline",
     "run_worker",
+    "save_priors",
     "simulate_makespan",
     "spec_names",
 ]

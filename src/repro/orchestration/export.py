@@ -8,6 +8,7 @@ cached) run is identical to the table the classic
 
 from __future__ import annotations
 
+import math
 import os
 from pathlib import Path
 from typing import Any
@@ -146,6 +147,38 @@ def _scheduling_note(done_rows: list[Any]) -> str | None:
     return "scheduling: " + "; ".join(parts)
 
 
+def _replan_trend_note(done_rows: list[Any]) -> str | None:
+    """Cost-model accuracy per re-plan epoch, as a convergence trend.
+
+    Every claimed row carries the re-plan epoch it was claimed under; the
+    geometric mean of ``cost_estimate / duration`` per epoch shows the
+    online refit converging toward 1x (epoch 0 estimates are raw hint
+    units, so their ratio is usually off by orders of magnitude — that
+    starting point *is* the story).  Emitted only when re-planning actually
+    fired, i.e. some row was claimed under an epoch > 0.
+    """
+    by_epoch: dict[int, list[float]] = {}
+    for row in done_rows:
+        if (
+            row.cost_estimate is not None
+            and row.cost_estimate > 0
+            and row.duration is not None
+            and row.duration > 0
+        ):
+            by_epoch.setdefault(row.epoch, []).append(row.cost_estimate / row.duration)
+    if not by_epoch or max(by_epoch) == 0:
+        return None
+    parts = []
+    for epoch in sorted(by_epoch):
+        ratios = by_epoch[epoch]
+        gmean = math.exp(sum(math.log(ratio) for ratio in ratios) / len(ratios))
+        parts.append(f"epoch {epoch}: {gmean:.3g}x (n={len(ratios)})")
+    return (
+        "cost-model accuracy by re-plan epoch (estimate/actual, geometric "
+        "mean): " + " -> ".join(parts)
+    )
+
+
 def table_from_store(
     store: ExperimentStore,
     experiment: str,
@@ -188,6 +221,9 @@ def table_from_store(
     scheduling_note = _scheduling_note(done)
     if scheduling_note:
         table.add_note(scheduling_note)
+    trend_note = _replan_trend_note(done)
+    if trend_note:
+        table.add_note(trend_note)
     if missing:
         # Never let a partially-run grid masquerade as a finished experiment:
         # reduced columns (means over seeds) would silently cover a subset.

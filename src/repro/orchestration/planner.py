@@ -27,6 +27,11 @@ The planner also fits the :class:`~repro.orchestration.scheduling.CostModel`
 and assigns priorities: ordinary cells get their cost estimate, prerequisite
 rows get their own estimate *plus* the summed estimates of the cells they
 gate (a prerequisite delays everything behind it, so it goes first).
+
+Online re-planning (PR 4): :func:`replan` re-ranks the still-pending rows
+under a refitted model mid-drain — :func:`apply_gate_boosts` recomputes the
+prerequisite boosts from store state afterwards, so gate ordering survives
+every refit.  The runner calls it each time it wins a re-plan epoch.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from typing import Any, Callable, Mapping, Sequence
 from ..core.instance import Instance
 from ..core.result import SolverResult
 from .cache import cache_key
-from .scheduling import CostModel, simulate_makespan
+from .scheduling import CostModel, priority_entries, simulate_makespan
 from .store import ExperimentStore, params_hash
 
 __all__ = [
@@ -45,8 +50,10 @@ __all__ = [
     "PrereqCall",
     "HoistedPrereq",
     "PlanReport",
+    "apply_gate_boosts",
     "discover_prerequisites",
     "plan",
+    "replan",
 ]
 
 # Pseudo experiment holding hoisted prerequisite rows.  Registered in
@@ -181,7 +188,6 @@ def plan(
     """
     from . import registry
     from .runner import populate
-    from .scheduling import plan_priorities
 
     names = [registry.get_spec(name).name for name in experiments]
     report = PlanReport(experiments=list(names), hoisted=[])
@@ -228,39 +234,29 @@ def plan(
                 report.edges += 1
 
     # Priorities: longest-expected-first for ordinary cells; prerequisites
-    # additionally carry the estimates of everything they gate.
+    # additionally carry the estimates of everything they gate.  The gate
+    # boost is recomputed from store state, so prereq rows of *earlier*
+    # plans keep outranking their dependents across re-plans too.  One
+    # combined set_schedule write, with the just-computed estimates reused
+    # for the boost sums so each cost-hint callable runs once per cell.
     model = CostModel.fit(store)
-    schedule_names = names + ([PREREQ_EXPERIMENT] if hoisted else [])
-    summary = plan_priorities(store, schedule_names, model=model)
-    report.priorities_updated = summary["updated"]
-    report.estimate_totals = summary["totals"]
-    if hoisted:
-        boosts: list[tuple[str, str, float, float | None]] = []
-        dependent_estimates: dict[str, float] = {}
-        for name in names:
-            for row in store.fetch_rows(name, status="pending"):
-                dependent_estimates[params_hash(name, row.params)] = (
-                    row.cost_estimate
-                    if row.cost_estimate is not None
-                    else model.estimate(name, row.params)
-                )
-        for group in hoisted:
-            own = model.estimate(PREREQ_EXPERIMENT, group.params)
-            gate = sum(
-                dependent_estimates.get(cell_hash, 0.0)
-                for _, cell_hash in group.dependents
-            )
-            boosts.append(
-                (PREREQ_EXPERIMENT, group.param_hash, own + gate, own)
-            )
-        store.set_schedule(boosts)
+    entries, totals = priority_entries(store, names, model)
+    known = {
+        (experiment, row_hash): priority
+        for experiment, row_hash, priority, _ in entries
+    }
+    boosts, boost_total = _gate_boost_entries(store, model, known)
+    report.priorities_updated = store.set_schedule(entries + boosts)
+    report.estimate_totals = totals
+    if boosts:
+        report.estimate_totals[PREREQ_EXPERIMENT] = boost_total
 
     # Projection: what this plan buys over FIFO on the requested worker
     # count (list-scheduling simulation over the pending cost estimates;
     # dependency edges are ignored — prerequisites sort first anyway).
     costs = [
         row.cost_estimate
-        for name in dict.fromkeys(schedule_names)
+        for name in dict.fromkeys(names + [PREREQ_EXPERIMENT])
         for row in store.fetch_rows(name, status="pending")
         if row.cost_estimate is not None
     ]
@@ -270,3 +266,102 @@ def plan(
             costs, workers, order="priority", fifo_every=store.fifo_every
         )
     return report
+
+
+def _gate_boost_entries(
+    store: ExperimentStore,
+    model: CostModel,
+    known_estimates: Mapping[tuple[str, str], float] | None = None,
+) -> tuple[list[tuple[str, str, float, float | None]], float]:
+    """``set_schedule`` entries boosting every pending ``prereq`` row.
+
+    The gate sum is derived from ground truth over the *whole* store —
+    every pending row whose ``depends_on`` lists the prerequisite's hash,
+    regardless of which experiments the caller is planning — because the
+    rewritten prereq rows are global too: summing only an experiment-scoped
+    subset would silently wipe the boost owed to out-of-scope dependents
+    (the same bug class as the bare ``plan_priorities(store)`` wipe).
+    Dependent estimates come from ``model`` directly, so they match the
+    priorities being written alongside rather than whatever an earlier
+    plan left in ``cost_estimate``; ``known_estimates`` (keyed by
+    ``(experiment, param_hash)``) short-circuits rows the caller already
+    estimated this pass, so a re-plan never runs the hint callables twice
+    over the same cells.
+    """
+    prereq_rows = store.fetch_rows(PREREQ_EXPERIMENT, status="pending")
+    if not prereq_rows:
+        return [], 0.0
+    gate_sums: dict[str, float] = {}
+    for name in store.experiments():
+        if name == PREREQ_EXPERIMENT:
+            continue
+        for row in store.fetch_rows(name, status="pending"):
+            if not row.depends_on:
+                continue
+            estimate = None
+            if known_estimates is not None:
+                estimate = known_estimates.get((name, params_hash(name, row.params)))
+            if estimate is None:
+                estimate = model.estimate(name, row.params)
+            for dep in row.depends_on:
+                gate_sums[dep] = gate_sums.get(dep, 0.0) + estimate
+    boosts: list[tuple[str, str, float, float | None]] = []
+    total = 0.0
+    for row in prereq_rows:
+        own = model.estimate(PREREQ_EXPERIMENT, row.params)
+        row_hash = params_hash(PREREQ_EXPERIMENT, row.params)
+        boosts.append(
+            (PREREQ_EXPERIMENT, row_hash, own + gate_sums.get(row_hash, 0.0), own)
+        )
+        total += own
+    return boosts, total
+
+
+def apply_gate_boosts(store: ExperimentStore, model: CostModel) -> dict[str, Any]:
+    """Recompute the priority of every pending ``prereq`` row from the store.
+
+    A prerequisite delays everything behind it, so its priority is its own
+    estimate *plus* the summed estimates of the still-pending cells gated on
+    it (``cost_estimate`` stays the own estimate) — see
+    :func:`_gate_boost_entries` for why the sum is store-wide.  Returns
+    ``{"updated": rows_changed, "total": summed_own_estimates}``.
+    """
+    boosts, total = _gate_boost_entries(store, model)
+    return {"updated": store.set_schedule(boosts), "total": total}
+
+
+def replan(
+    store: ExperimentStore,
+    *,
+    model: CostModel,
+    experiments: Sequence[str] | None = None,
+    round_no: int | None = None,
+) -> dict[str, Any]:
+    """Re-rank all still-pending rows under a freshly refitted cost model.
+
+    The online half of the planner: no grid expansion, no hoisting — the
+    :func:`~repro.orchestration.scheduling.priority_entries` of the scoped
+    pending rows plus the store-wide prerequisite gate boosts, written in a
+    *single* ``set_schedule`` transaction so concurrent claimers never
+    observe a half-re-ranked store.  ``round_no`` (the value
+    :meth:`~repro.orchestration.store.ExperimentStore.try_begin_replan`
+    handed the caller) guards the write: if a newer round was won while
+    this one was still refitting, nothing is written and the summary comes
+    back ``{"stale": True}`` — a stalled winner can never clobber fresher
+    priorities.  Rows already claimed keep their spent scheduling decision.
+    """
+    entries, totals = priority_entries(store, experiments, model)
+    known = {
+        (experiment, row_hash): priority
+        for experiment, row_hash, priority, _ in entries
+    }
+    boosts, _ = _gate_boost_entries(store, model, known)
+    updated = store.set_schedule(entries + boosts, if_replan_round=round_no)
+    if updated is None:
+        return {"updated": 0, "boosted": 0, "totals": totals, "stale": True}
+    return {
+        "updated": updated,
+        "boosted": len(boosts),
+        "totals": totals,
+        "stale": False,
+    }

@@ -31,6 +31,17 @@ prerequisites does not exit: it heals stale dependency counters, cascades
 prerequisite failures, reclaims dependency-blocking rows abandoned by dead
 workers (``stale_after``), and polls until the blocked rows resolve or no
 live path to them remains.
+
+Online re-planning (``replan_every > 0``, the default): the scheduling
+decision is no longer spent once per run.  After every landed completion a
+worker offers the store a re-plan round
+(:meth:`~repro.orchestration.store.ExperimentStore.try_begin_replan`); the
+epoch protocol guarantees exactly one winner per ``replan_every``
+completions, and the winner EWMA-refits its cost model from the durations
+that streamed in since its last refit, then re-ranks every still-pending
+row (prerequisite gate boosts are recomputed, not wiped).  A grid whose
+``cost_hint`` calibration is off by orders of magnitude therefore converges
+to near-LPT claim order within the first few completions instead of never.
 """
 
 from __future__ import annotations
@@ -45,7 +56,8 @@ from typing import Sequence
 from ..solver import get_solver_service, pooled_service_scope
 from . import registry
 from .cache import cache_scope
-from .planner import PREREQ_EXPERIMENT
+from .planner import PREREQ_EXPERIMENT, replan
+from .scheduling import CostModel
 from .store import ExperimentStore
 
 __all__ = ["RunReport", "populate", "run_pool", "run_worker"]
@@ -55,6 +67,12 @@ SOLVER_TELEMETRY_KEY = "_solver_telemetry"
 # How long an idle worker sleeps between polls while rows it could run are
 # still blocked on an in-flight prerequisite of another worker.
 BLOCKED_POLL_SECONDS = 0.05
+
+# Default re-plan cadence: one priority refresh per this many landed
+# completions.  Small enough that a badly calibrated grid converges within
+# its first few cells, large enough that re-ranking (a handful of SELECTs
+# plus one bulk UPDATE) stays negligible next to cell execution.
+DEFAULT_REPLAN_EVERY = 5
 
 
 @dataclass(slots=True)
@@ -72,11 +90,14 @@ class RunReport:
     # Planner summary (zero when planning is disabled or nothing to hoist).
     hoisted: int = 0
     dependency_edges: int = 0
+    # Re-plan rounds this invocation's workers won (0 with --no-replan).
+    replans: int = 0
 
     def merge(self, other: "RunReport") -> None:
         self.claimed += other.claimed
         self.done += other.done
         self.errors += other.errors
+        self.replans += other.replans
         self.worker_tags.extend(other.worker_tags)
 
 
@@ -148,6 +169,8 @@ def run_worker(
     use_cache: bool = True,
     solver_servers: int = 0,
     stale_after: float = 600.0,
+    replan_every: int = 0,
+    fifo_every: int | None = None,
 ) -> RunReport:
     """Claim-execute-writeback loop of a single worker (also used inline).
 
@@ -156,14 +179,30 @@ def run_worker(
     goes through the same pool of long-lived solver servers.
     ``stale_after`` bounds how long the loop waits on a dependency-blocking
     row claimed by a worker that may have died before reclaiming it.
+
+    ``replan_every > 0`` turns on online re-planning: after each landed
+    completion the worker offers the store a re-plan round, and when it wins
+    the epoch it refits its cost model (EWMA over the durations completed
+    since its previous refit, across *all* workers) and re-ranks the pending
+    rows.  Each worker keeps its own model; only round winners write
+    priorities, and a round has exactly one winner, so concurrent workers
+    never interleave partial priority updates.  ``fifo_every`` overrides the
+    store's bounded-wait interleave (``None`` keeps the store default).
     """
     report = RunReport(worker_tags=[worker_tag])
+    store_kwargs = {} if fifo_every is None else {"fifo_every": fifo_every}
+    # This worker's cost model, materialised lazily on its first re-plan
+    # win: store priors seed it, then every win EWMA-consumes the durations
+    # finished after `refit_watermark` (its last refit), so samples are
+    # counted exactly once per worker regardless of who won other rounds.
+    model: CostModel | None = None
+    refit_watermark: tuple[float, int] | None = None
     # cache_scope (not activate_cache) so the inline workers=1 path does not
     # leave the process-global cache pointed at this store after returning;
     # a None path pins the persistent layer (and its env fallback) off, so
     # use_cache=False cannot be overridden by REPRO_CACHE_DB.
     with cache_scope(db_path if use_cache else None), ExperimentStore(
-        db_path
+        db_path, **store_kwargs
     ) as store, pooled_service_scope(solver_servers) as solver_service:
         while True:
             claimed = store.claim_next(worker_tag, experiments)
@@ -200,6 +239,26 @@ def run_worker(
                     worker=worker_tag,
                 )
                 report.done += 1
+            if replan_every > 0:
+                round_no = store.try_begin_replan(replan_every)
+                if round_no is not None:
+                    if model is None:
+                        model = CostModel.from_priors(store.load_cost_priors())
+                    # Refit over every experiment's history, not just the
+                    # claim scope: prereq rows and sibling runners' cells
+                    # calibrate the same per-experiment scales.
+                    _, refit_watermark = model.refit(store, since=refit_watermark)
+                    summary = replan(
+                        store,
+                        model=model,
+                        experiments=experiments,
+                        round_no=round_no,
+                    )
+                    # The guarded write published the epoch atomically with
+                    # the new priorities; a stale round (a newer winner
+                    # superseded this one mid-refit) wrote nothing.
+                    if not summary["stale"]:
+                        report.replans += 1
     return report
 
 
@@ -215,6 +274,8 @@ def run_pool(
     use_cache: bool = True,
     solver_servers: int = 0,
     plan: bool = True,
+    replan_every: int = DEFAULT_REPLAN_EVERY,
+    fifo_every: int | None = None,
 ) -> RunReport:
     """Populate (optionally), plan, reclaim stale rows, then drain with workers.
 
@@ -234,6 +295,15 @@ def run_pool(
     hoisted into ``prereq`` rows the workers also claim, and cost-model
     priorities replace FIFO ordering.  ``plan=False`` restores the plain
     FIFO queue (existing priorities/edges in the store still apply).
+
+    ``replan_every`` is the online re-planning cadence (completions per
+    priority refresh, default :data:`DEFAULT_REPLAN_EVERY`; ``0`` — the CLI's
+    ``--no-replan`` — freezes priorities at their initial plan).
+    ``plan=False`` implies ``replan_every=0``: its contract is "no
+    scheduling, priorities already in the store still apply", and a
+    mid-drain re-rank would write brand-new ones.  ``fifo_every`` overrides
+    the workers' bounded-wait FIFO interleave (``None`` keeps the store
+    default).
     """
     from .planner import plan as plan_grids
 
@@ -244,7 +314,10 @@ def run_pool(
         do_populate = names is not None
     report = RunReport(workers=max(1, int(workers)))
     claim_names = names
-    with ExperimentStore(db_path) as store:
+    if not plan:
+        replan_every = 0
+    store_kwargs = {} if fifo_every is None else {"fifo_every": fifo_every}
+    with ExperimentStore(db_path, **store_kwargs) as store:
         if do_populate:
             if names is None:
                 raise ValueError("populate requires an explicit experiment list")
@@ -295,6 +368,8 @@ def run_pool(
                     use_cache=use_cache,
                     solver_servers=solver_servers,
                     stale_after=stale_after,
+                    replan_every=replan_every,
+                    fifo_every=fifo_every,
                 )
             )
         else:
@@ -308,6 +383,8 @@ def run_pool(
                         use_cache=use_cache,
                         solver_servers=solver_servers,
                         stale_after=stale_after,
+                        replan_every=replan_every,
+                        fifo_every=fifo_every,
                     )
                     for i in range(report.workers)
                 ]

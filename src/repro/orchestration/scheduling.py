@@ -8,7 +8,7 @@ rule the paper studies, applied to the experiment run itself, and carries the
 same Graham guarantee (makespan at most ``4/3 - 1/(3w)`` times optimal for
 ``w`` workers when the estimates are right).
 
-Two pieces live here:
+Three pieces live here:
 
 * :class:`CostModel` — per-experiment cost estimates fitted from the
   ``duration`` history persisted in the store, with the grid-declared
@@ -17,6 +17,15 @@ Two pieces live here:
   hint is used; without either, a constant).  Estimates are written to the
   ``priority`` / ``cost_estimate`` columns, which
   :meth:`~repro.orchestration.store.ExperimentStore.claim_next` consumes.
+* *Online refit and cross-store priors* (PR 4) —
+  :meth:`CostModel.observe` / :meth:`CostModel.refit` fold freshly landed
+  durations into the fitted statistics as an EWMA (recent completions
+  dominate stale history), so the runner can re-rank still-pending rows
+  mid-drain; :func:`save_priors` / :func:`load_priors` round-trip the
+  fitted per-experiment scales through JSON, and
+  :meth:`~repro.orchestration.store.ExperimentStore.save_cost_priors`
+  persists them in a store, so a fresh store schedules well before its
+  first duration lands (``repro orch priors export|import``).
 * :func:`claim_order` / :func:`simulate_makespan` — a faithful in-memory
   model of the claim loop (priority order, FIFO interleave every
   ``fifo_every``-th claim, workers grabbing the next row as they free up),
@@ -32,17 +41,25 @@ bounded-wait property the tests pin down.
 from __future__ import annotations
 
 import heapq
+import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from .store import ExperimentStore, params_hash
 
 __all__ = [
     "DEFAULT_COST",
+    "EWMA_ALPHA",
+    "PRIORS_VERSION",
     "CostModel",
     "ExperimentCosts",
     "claim_order",
+    "load_priors",
     "plan_priorities",
+    "priority_entries",
+    "save_priors",
     "simulate_makespan",
 ]
 
@@ -50,6 +67,14 @@ __all__ = [
 # absolute value is irrelevant (priorities only order rows); all-equal
 # estimates degrade claiming to FIFO, the pre-scheduling behaviour.
 DEFAULT_COST = 1.0
+
+# Default weight of the newest duration sample in the online refit.  High
+# enough that a badly calibrated prior is overruled within a few
+# completions, low enough that one noisy cell does not thrash priorities.
+EWMA_ALPHA = 0.3
+
+# Schema version of the priors JSON written by save_priors.
+PRIORS_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,14 +94,26 @@ class CostModel:
 
     @classmethod
     def fit(
-        cls, store: ExperimentStore, experiments: Sequence[str] | None = None
+        cls,
+        store: ExperimentStore,
+        experiments: Sequence[str] | None = None,
+        *,
+        use_priors: bool = True,
     ) -> "CostModel":
         """Fit from the ``duration`` column of completed rows.
 
         For every experiment with history the mean duration is recorded;
         when the spec declares a ``cost_hint`` the mean *per hint unit* is
         recorded too, so within-experiment variation (an E3 cell at n=128
-        versus n=16) is captured instead of averaged away.
+        versus n=16) is captured instead of averaged away.  The hint scale
+        is fitted from the rows that *have* a positive hint — a retired-spec
+        row or a hint callable that throws on one cell must not flatten the
+        whole experiment's estimates to the mean.
+
+        ``use_priors=True`` folds the store's imported cross-store priors
+        (``repro orch priors import``) in: experiments without history
+        inherit the prior outright, experiments with both get a
+        sample-count-weighted blend.
         """
         grouped: dict[str, list[tuple[dict[str, Any], float]]] = {}
         for experiment, params, duration in store.duration_history(experiments):
@@ -86,19 +123,143 @@ class CostModel:
             durations = [duration for _, duration in samples]
             mean_duration = sum(durations) / len(durations)
             hint_scale = None
-            hints = [
-                _spec_hint(experiment, params) for params, _ in samples
+            hinted = [
+                (hint, duration)
+                for (params, duration) in samples
+                if (hint := _spec_hint(experiment, params)) is not None and hint > 0
             ]
-            if all(hint is not None and hint > 0 for hint in hints):
-                mean_hint = sum(hints) / len(hints)  # type: ignore[arg-type]
+            if hinted:
+                mean_hint = sum(hint for hint, _ in hinted) / len(hinted)
+                mean_hinted_duration = sum(duration for _, duration in hinted) / len(hinted)
                 if mean_hint > 0:
-                    hint_scale = mean_duration / mean_hint
+                    hint_scale = mean_hinted_duration / mean_hint
             fitted[experiment] = ExperimentCosts(
                 samples=len(samples),
                 mean_duration=mean_duration,
                 hint_scale=hint_scale,
             )
-        return cls(fitted)
+        model = cls(fitted)
+        if use_priors:
+            model.merge_priors(store.load_cost_priors())
+        return model
+
+    def merge_priors(self, priors: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold imported per-experiment statistics into the fitted ones.
+
+        An experiment present only in ``priors`` inherits them outright;
+        one present in both gets a sample-count-weighted blend, so a prior
+        carrying 50 samples outweighs 2 local completions but fades as
+        local history accumulates.
+        """
+        for experiment, stats in priors.items():
+            prior = ExperimentCosts(
+                samples=int(stats.get("samples", 0)),
+                mean_duration=stats.get("mean_duration"),
+                hint_scale=stats.get("hint_scale"),
+            )
+            if prior.samples <= 0:
+                continue
+            local = self.per_experiment.get(experiment)
+            if local is None or local.samples <= 0:
+                self.per_experiment[experiment] = prior
+                continue
+            total = local.samples + prior.samples
+            self.per_experiment[experiment] = ExperimentCosts(
+                samples=total,
+                mean_duration=_blend(
+                    local.mean_duration, local.samples, prior.mean_duration, prior.samples
+                ),
+                hint_scale=_blend(
+                    local.hint_scale, local.samples, prior.hint_scale, prior.samples
+                ),
+            )
+
+    def observe(
+        self,
+        experiment: str,
+        params: Mapping[str, Any],
+        duration: float,
+        *,
+        alpha: float = EWMA_ALPHA,
+    ) -> None:
+        """Fold one freshly landed duration into the fitted statistics (EWMA).
+
+        The exponential weighting makes recent completions dominate both
+        stale history and imported priors, which is what lets a drain whose
+        ``cost_hint`` calibration is off by orders of magnitude converge
+        within the first few completions.
+        """
+        costs = self.per_experiment.get(experiment)
+        hint = _spec_hint(experiment, params)
+        scale_sample = duration / hint if hint is not None and hint > 0 else None
+        if costs is None or costs.samples <= 0:
+            self.per_experiment[experiment] = ExperimentCosts(
+                samples=1, mean_duration=duration, hint_scale=scale_sample
+            )
+            return
+        mean_duration = (
+            duration
+            if costs.mean_duration is None
+            else (1.0 - alpha) * costs.mean_duration + alpha * duration
+        )
+        if scale_sample is None:
+            hint_scale = costs.hint_scale
+        elif costs.hint_scale is None:
+            hint_scale = scale_sample
+        else:
+            hint_scale = (1.0 - alpha) * costs.hint_scale + alpha * scale_sample
+        self.per_experiment[experiment] = ExperimentCosts(
+            samples=costs.samples + 1,
+            mean_duration=mean_duration,
+            hint_scale=hint_scale,
+        )
+
+    def refit(
+        self,
+        store: ExperimentStore,
+        experiments: Sequence[str] | None = None,
+        *,
+        since: tuple[float, int] | None = None,
+        alpha: float = EWMA_ALPHA,
+    ) -> tuple[int, tuple[float, int]]:
+        """Incrementally consume durations that landed after ``since``.
+
+        Feeds every completion past the ``since`` watermark (oldest first)
+        through :meth:`observe` and returns ``(consumed, watermark)``.  The
+        watermark is a ``(finished_at, row_id)`` pair — the id tiebreak
+        means equal timestamps from a coarse clock cannot drop a sample —
+        and ``None`` means "from the beginning"; pass the returned value
+        back as the next call's ``since`` so each sample is counted exactly
+        once.
+        """
+        consumed = 0
+        watermark = since if since is not None else (0.0, 0)
+        for experiment, params, duration, finished_at, row_id in store.duration_samples(
+            experiments, since=since
+        ):
+            self.observe(experiment, params, duration, alpha=alpha)
+            consumed += 1
+            watermark = max(watermark, (finished_at, row_id))
+        return consumed, watermark
+
+    def to_priors(self) -> dict[str, dict[str, Any]]:
+        """The fitted statistics as a JSON-able priors mapping."""
+        return {
+            experiment: {
+                "samples": costs.samples,
+                "mean_duration": costs.mean_duration,
+                "hint_scale": costs.hint_scale,
+            }
+            for experiment, costs in sorted(self.per_experiment.items())
+            if costs.samples > 0
+        }
+
+    @classmethod
+    def from_priors(cls, priors: Mapping[str, Mapping[str, Any]]) -> "CostModel":
+        """A model backed purely by imported priors (no local history yet)."""
+        model = cls()
+        model.merge_priors(priors)
+        return model
 
     def estimate(self, experiment: str, params: Mapping[str, Any]) -> float:
         """Expected duration (seconds, or hint units without history) of one cell."""
@@ -112,6 +273,68 @@ class CostModel:
         if hint is not None:
             return max(float(hint), 0.0)
         return DEFAULT_COST
+
+
+def _blend(
+    local: float | None, local_weight: int, prior: float | None, prior_weight: int
+) -> float | None:
+    """Sample-count-weighted average; either side may be missing."""
+    if local is None:
+        return float(prior) if prior is not None else None
+    if prior is None:
+        return float(local)
+    total = local_weight + prior_weight
+    if total <= 0:
+        return float(local)
+    return (local * local_weight + prior * prior_weight) / total
+
+
+def save_priors(model: CostModel, path: str | os.PathLike[str]) -> int:
+    """Write the model's per-experiment statistics as a priors JSON file.
+
+    The format (versioned; also the shape
+    :meth:`~repro.orchestration.store.ExperimentStore.save_cost_priors`
+    accepts) ships fitted scales *across stores*::
+
+        {"version": 1,
+         "experiments": {"e3": {"samples": 12,
+                                "mean_duration": 0.84,
+                                "hint_scale": 0.0041}}}
+
+    Returns how many experiments were written.
+    """
+    experiments = model.to_priors()
+    payload = {"version": PRIORS_VERSION, "experiments": experiments}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(experiments)
+
+
+def load_priors(path: str | os.PathLike[str]) -> CostModel:
+    """Load a priors JSON file written by :func:`save_priors`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read priors file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "experiments" not in payload:
+        raise ValueError(f"{path} is not a priors file (no 'experiments' key)")
+    version = payload.get("version")
+    if version != PRIORS_VERSION:
+        raise ValueError(
+            f"{path} has priors version {version!r}; this build reads {PRIORS_VERSION}"
+        )
+    experiments = payload["experiments"]
+    if not isinstance(experiments, dict):
+        raise ValueError(f"{path}: 'experiments' must be an object, got {type(experiments).__name__}")
+    for name, stats in experiments.items():
+        if not isinstance(stats, dict):
+            raise ValueError(f"{path}: priors for {name!r} must be an object")
+        if not isinstance(stats.get("samples", 0), (int, float)):
+            raise ValueError(f"{path}: priors for {name!r} have a non-numeric 'samples'")
+        for field in ("mean_duration", "hint_scale"):
+            value = stats.get(field)
+            if value is not None and not isinstance(value, (int, float)):
+                raise ValueError(f"{path}: priors for {name!r} have a non-numeric {field!r}")
+    return CostModel.from_priors(experiments)
 
 
 def _spec_hint(experiment: str, params: Mapping[str, Any]) -> float | None:
@@ -139,23 +362,48 @@ def plan_priorities(
     """Write cost-model priorities onto every pending row (longest first).
 
     Returns a summary: rows updated and the per-experiment estimate totals
-    (used by ``repro orch plan``).  Prerequisite rows get an extra gate
-    boost from the planner on top of this pass.
+    (used by ``repro orch plan``).  Rows of the ``prereq`` pseudo-experiment
+    are deliberately skipped: their priority is their own estimate *plus*
+    the summed estimates of everything they gate
+    (:func:`~repro.orchestration.planner.apply_gate_boosts`), and writing
+    the bare estimate here — as a naive ``plan_priorities(store)`` over
+    ``store.experiments()`` used to do — would silently wipe that boost and
+    drain dependents behind ordinary cells.
     """
     if model is None:
         model = CostModel.fit(store, None)  # all history, even other experiments
+    entries, totals = priority_entries(store, experiments, model)
+    updated = store.set_schedule(entries)
+    return {"updated": updated, "totals": totals}
+
+
+def priority_entries(
+    store: ExperimentStore,
+    experiments: Sequence[str] | None,
+    model: CostModel,
+) -> tuple[list[tuple[str, str, float, float | None]], dict[str, float]]:
+    """The ``set_schedule`` entries :func:`plan_priorities` would write.
+
+    Split out so :func:`repro.orchestration.planner.replan` can combine them
+    with the prerequisite gate boosts into a *single* ``set_schedule``
+    transaction — concurrent claimers then never observe a half-re-ranked
+    store.  ``prereq`` rows are excluded here (see :func:`plan_priorities`).
+    """
+    from .planner import PREREQ_EXPERIMENT  # deferred: planner imports us
+
     entries: list[tuple[str, str, float, float | None]] = []
     totals: dict[str, float] = {}
     names = experiments if experiments is not None else store.experiments()
     for experiment in names:
+        if experiment == PREREQ_EXPERIMENT:
+            continue
         for row in store.fetch_rows(experiment, status="pending"):
             estimate = model.estimate(experiment, row.params)
             entries.append(
                 (experiment, params_hash(experiment, row.params), estimate, estimate)
             )
             totals[experiment] = totals.get(experiment, 0.0) + estimate
-    updated = store.set_schedule(entries)
-    return {"updated": updated, "totals": totals}
+    return entries, totals
 
 
 def claim_order(costs: Sequence[float], *, fifo_every: int = 0) -> list[int]:

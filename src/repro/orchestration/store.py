@@ -1,6 +1,6 @@
 """SQLite-backed experiment registry: the persistence layer of orchestration.
 
-A *store* is a single SQLite file (WAL mode) holding two tables:
+A *store* is a single SQLite file (WAL mode) holding four tables:
 
 ``runs``
     One row per grid cell of an experiment: canonical-JSON parameters, a
@@ -13,7 +13,7 @@ A *store* is a single SQLite file (WAL mode) holding two tables:
     filesystems don't provide — multi-machine operation needs a server-backed
     store (see the ROADMAP).
 
-    Scheduling columns (added by PR 3, migrated in-place on open):
+    Scheduling columns (added by PR 3/4, migrated in-place on open):
 
     * ``priority`` / ``cost_estimate`` — assigned by
       :mod:`repro.orchestration.scheduling`; claiming is highest-priority
@@ -31,6 +31,26 @@ A *store* is a single SQLite file (WAL mode) holding two tables:
       :meth:`ExperimentStore.reclaim_stale` / :meth:`ExperimentStore.reset`
       recompute the counters from ground truth so a reclaimed prerequisite
       re-blocks its dependents instead of leaking a half-satisfied edge.
+    * ``epoch`` — the re-plan epoch (see below) the row was claimed under,
+      stamped by :meth:`ExperimentStore.claim_next`; the export rolls up
+      estimate-vs-actual accuracy per epoch to show the cost model
+      converging across re-plans.
+
+``scheduler_state`` additionally carries the *online re-planning* protocol
+(PR 4): a ``completions`` counter bumped by every landed
+:meth:`ExperimentStore.complete`, the ``replan_watermark`` (the completions
+count the last re-plan fired at), the ``replan_round`` counter
+(:meth:`ExperimentStore.try_begin_replan` advances it atomically, so
+exactly one worker wins each round) and the published ``replan_epoch``
+(:meth:`ExperimentStore.publish_replan_epoch`, moved only after the
+winner's priorities landed, so claim stamping attributes rows to the epoch
+whose estimates actually ordered them).
+
+``cost_priors``
+    Per-experiment fitted cost statistics (sample count, mean duration,
+    seconds-per-hint-unit scale) imported from another store via
+    ``repro orch priors import``.  The cost model folds them in as priors,
+    so a fresh store schedules well before its first duration lands.
 
 ``cache``
     Content-addressed solver results keyed by
@@ -95,6 +115,13 @@ CREATE TABLE IF NOT EXISTS scheduler_state (
     key   TEXT PRIMARY KEY,
     value INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS cost_priors (
+    experiment    TEXT PRIMARY KEY,
+    samples       INTEGER NOT NULL,
+    mean_duration REAL,
+    hint_scale    REAL,
+    updated_at    REAL NOT NULL
+);
 """
 
 # Scheduling columns arrived after the first released schema; stores created
@@ -104,6 +131,7 @@ _RUNS_MIGRATIONS = {
     "cost_estimate": "ALTER TABLE runs ADD COLUMN cost_estimate REAL",
     "depends_on": "ALTER TABLE runs ADD COLUMN depends_on TEXT",
     "deps_pending": "ALTER TABLE runs ADD COLUMN deps_pending INTEGER NOT NULL DEFAULT 0",
+    "epoch": "ALTER TABLE runs ADD COLUMN epoch INTEGER NOT NULL DEFAULT 0",
 }
 
 # Created after the column migration: they reference migrated columns.
@@ -168,6 +196,7 @@ class StoredRow:
     cost_estimate: float | None = None
     depends_on: tuple[str, ...] = ()
     deps_pending: int = 0
+    epoch: int = 0
 
 
 class ExperimentStore:
@@ -274,17 +303,13 @@ class ExperimentStore:
                 return None
             self._conn.execute(
                 "UPDATE runs SET status = 'running', worker = ?, claimed_at = ?, "
-                "attempts = attempts + 1, error = NULL WHERE id = ?",
-                (worker, time.time(), row["id"]),
+                "attempts = attempts + 1, error = NULL, epoch = ? WHERE id = ?",
+                (worker, time.time(), self._state_value("replan_epoch"), row["id"]),
             )
             # The ordinal only advances on a successful claim, so the FIFO
             # interleave pattern is a deterministic function of the claim
             # sequence, not of how often idle workers poll.
-            self._conn.execute(
-                "INSERT INTO scheduler_state (key, value) VALUES ('claims', ?) "
-                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
-                (ordinal,),
-            )
+            self._set_state("claims", ordinal)
             self._conn.execute("COMMIT")
         except BaseException:
             self._conn.execute("ROLLBACK")
@@ -292,10 +317,20 @@ class ExperimentStore:
         return ClaimedRow(id=row["id"], experiment=row["experiment"], params=json.loads(row["params"]))
 
     def _next_claim_ordinal(self) -> int:
+        return self._state_value("claims") + 1
+
+    def _state_value(self, key: str) -> int:
         row = self._conn.execute(
-            "SELECT value FROM scheduler_state WHERE key = 'claims'"
+            "SELECT value FROM scheduler_state WHERE key = ?", (key,)
         ).fetchone()
-        return (int(row["value"]) if row is not None else 0) + 1
+        return int(row["value"]) if row is not None else 0
+
+    def _set_state(self, key: str, value: int) -> None:
+        self._conn.execute(
+            "INSERT INTO scheduler_state (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
 
     def complete(
         self,
@@ -322,15 +357,26 @@ class ExperimentStore:
             "UPDATE runs SET status = 'done', result = ?, finished_at = ?, duration = ? "
             "WHERE id = ? AND status = 'running'"
         )
-        args: list[Any] = [json.dumps(_to_jsonable(result)), time.time(), duration, row_id]
-        if worker is not None:
-            query += " AND worker = ?"
-            args.append(worker)
         self._conn.execute("BEGIN IMMEDIATE")
         try:
+            # finished_at is stamped *under the write lock*, so it is
+            # ordered with commit order — a refit watermark can then never
+            # skip a row that committed after a consumed one but carried an
+            # earlier clock reading taken outside the lock (equal readings
+            # are handled by duration_samples' row-id tiebreak).
+            args: list[Any] = [
+                json.dumps(_to_jsonable(result)), time.time(), duration, row_id
+            ]
+            if worker is not None:
+                query += " AND worker = ?"
+                args.append(worker)
             landed = self._conn.execute(query, args).rowcount == 1
             if landed:
                 self._release_dependents(row_id)
+                # The completions counter drives the re-plan cadence; bumped
+                # only when the guarded write lands, so a late writeback from
+                # a reclaimed worker can never trigger a phantom re-plan.
+                self._set_state("completions", self._state_value("completions") + 1)
             self._conn.execute("COMMIT")
         except BaseException:
             self._conn.execute("ROLLBACK")
@@ -461,17 +507,36 @@ class ExperimentStore:
     # Scheduling: priorities and prerequisite edges
     # ------------------------------------------------------------------
     def set_schedule(
-        self, entries: Iterable[tuple[str, str, float, float | None]]
-    ) -> int:
+        self,
+        entries: Iterable[tuple[str, str, float, float | None]],
+        *,
+        if_replan_round: int | None = None,
+    ) -> int | None:
         """Bulk-assign ``(priority, cost_estimate)`` to pending rows.
 
         ``entries`` are ``(experiment, param_hash, priority, cost_estimate)``
         tuples.  Rows already claimed or finished keep their values (their
         scheduling decision has been spent); returns how many rows changed.
+
+        ``if_replan_round`` guards the write against a superseded re-plan:
+        when given, nothing is written unless ``scheduler_state``'s
+        ``replan_round`` still equals it, and ``None`` is returned instead —
+        the winner of round ``N`` that stalled past round ``N+1``'s win can
+        therefore never overwrite the newer round's priorities with its
+        staler estimates (the check and the writes share one transaction,
+        and rounds advance under the same lock).  A guarded write that
+        lands also *publishes* the round as the current ``replan_epoch`` in
+        the same transaction, so a claim observes either (old priorities,
+        old epoch) or (new priorities, new epoch) — never a mix.
         """
         changed = 0
         self._conn.execute("BEGIN IMMEDIATE")
         try:
+            if if_replan_round is not None:
+                if self._state_value("replan_round") != if_replan_round:
+                    self._conn.execute("COMMIT")
+                    return None
+                self._publish_epoch(if_replan_round)
             for experiment, param_hash, priority, cost_estimate in entries:
                 cursor = self._conn.execute(
                     "UPDATE runs SET priority = ?, cost_estimate = ? "
@@ -650,23 +715,190 @@ class ExperimentStore:
             if not failed_here:
                 return total
 
+    # ------------------------------------------------------------------
+    # Online re-planning: epoch protocol and completion watermark
+    # ------------------------------------------------------------------
+    def completion_count(self) -> int:
+        """Landed :meth:`complete` calls over the store's lifetime."""
+        return self._state_value("completions")
+
+    def replan_epoch(self) -> int:
+        """The current *published* re-plan epoch (0 until one completes).
+
+        Published means the winning worker has finished writing the
+        refitted priorities (:meth:`publish_replan_epoch`): rows claimed
+        under epoch ``N`` were therefore ordered by epoch ``N``'s
+        estimates, which keeps the export's per-epoch accuracy trend
+        honestly attributed.
+        """
+        return self._state_value("replan_epoch")
+
+    def try_begin_replan(self, every: int) -> int | None:
+        """Atomically start a re-plan round; returns the round number if won.
+
+        Fires when at least ``every`` completions have landed since the last
+        round (the ``replan_watermark``).  Round advance and watermark move
+        happen in one ``BEGIN IMMEDIATE`` transaction, so of any number of
+        workers racing the same round *exactly one* gets a non-``None``
+        round — the winner refits the cost model and rewrites priorities
+        through a round-guarded :meth:`set_schedule`, which publishes the
+        epoch in the same transaction; everyone else keeps claiming.  The
+        epoch visible to claim stamping therefore advances exactly when the
+        new priorities land, so every row is attributed to the epoch whose
+        estimates actually ordered it.  ``every <= 0`` disables
+        re-planning.
+        """
+        if every <= 0:
+            return None
+        # Unlocked pre-check: most completions are not a round boundary, and
+        # taking the store-wide write lock just to discover that serializes
+        # against every concurrent claim.  A stale read here only delays the
+        # round to the next completion; the locked re-check below is what
+        # guarantees the single winner.
+        if self._state_value("completions") - self._state_value("replan_watermark") < every:
+            return None
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            completions = self._state_value("completions")
+            if completions - self._state_value("replan_watermark") < every:
+                self._conn.execute("COMMIT")
+                return None
+            round_no = self._state_value("replan_round") + 1
+            self._set_state("replan_round", round_no)
+            self._set_state("replan_watermark", completions)
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return round_no
+
+    def publish_replan_epoch(self, round_no: int) -> None:
+        """Make ``round_no`` the epoch new claims are stamped with.
+
+        The low-level primitive: a round-guarded :meth:`set_schedule` does
+        this automatically in the same transaction as its priority write,
+        which is what the runner relies on; call it directly only when
+        applying a round's priorities through some other path.  Monotonic
+        (``MAX``): if the winner of round ``N`` stalls past round ``N+1``'s
+        publish, its late publish cannot move the epoch backwards — and a
+        winner that dies before publishing merely leaves the epoch to the
+        next round, never wedged.
+        """
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._publish_epoch(round_no)
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    def _publish_epoch(self, round_no: int) -> None:
+        """Monotonic epoch advance; must run inside an open transaction."""
+        self._set_state(
+            "replan_epoch", max(self._state_value("replan_epoch"), int(round_no))
+        )
+
     def duration_history(
         self, experiments: Sequence[str] | None = None
     ) -> list[tuple[str, dict[str, Any], float]]:
         """``(experiment, params, duration)`` of every completed row."""
+        return [
+            (experiment, params, duration)
+            for experiment, params, duration, _, _ in self.duration_samples(experiments)
+        ]
+
+    def duration_samples(
+        self,
+        experiments: Sequence[str] | None = None,
+        *,
+        since: tuple[float, int] | None = None,
+    ) -> list[tuple[str, dict[str, Any], float, float, int]]:
+        """``(experiment, params, duration, finished_at, id)``, oldest first.
+
+        ``since`` is a ``(finished_at, id)`` watermark: only rows strictly
+        after it (timestamp first, row id as the tiebreak) are returned —
+        the incremental feed of the online refit.  ``finished_at`` is
+        stamped under the store's write lock so it is ordered with commits,
+        but not strictly increasing (coarse clocks can repeat a reading);
+        the id tiebreak is what makes "consume each sample exactly once"
+        hold even across equal timestamps.
+        """
         query = (
-            "SELECT experiment, params, duration FROM runs "
+            "SELECT id, experiment, params, duration, finished_at FROM runs "
             "WHERE status = 'done' AND duration IS NOT NULL"
         )
         args: list[Any] = []
         if experiments:
             query += f" AND experiment IN ({','.join('?' for _ in experiments)})"
             args.extend(experiments)
-        query += " ORDER BY id"
+        if since is not None:
+            timestamp, row_id = since
+            query += " AND (finished_at > ? OR (finished_at = ? AND id > ?))"
+            args.extend([timestamp, timestamp, row_id])
+        query += " ORDER BY finished_at, id"
         return [
-            (row["experiment"], json.loads(row["params"]), float(row["duration"]))
+            (
+                row["experiment"],
+                json.loads(row["params"]),
+                float(row["duration"]),
+                float(row["finished_at"]) if row["finished_at"] is not None else 0.0,
+                int(row["id"]),
+            )
             for row in self._conn.execute(query, args)
         ]
+
+    # ------------------------------------------------------------------
+    # Cross-store cost priors
+    # ------------------------------------------------------------------
+    def save_cost_priors(self, priors: Mapping[str, Mapping[str, Any]]) -> int:
+        """Upsert per-experiment cost statistics (the priors table).
+
+        ``priors`` maps experiment name to a dict with ``samples`` (int),
+        ``mean_duration`` and ``hint_scale`` (floats or ``None``) — the JSON
+        shape :func:`repro.orchestration.scheduling.save_priors` writes.
+        Returns how many experiments were stored.
+        """
+        now = time.time()
+        stored = 0
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            for experiment, stats in priors.items():
+                samples = int(stats.get("samples", 0))
+                if samples <= 0:
+                    continue
+                mean_duration = stats.get("mean_duration")
+                hint_scale = stats.get("hint_scale")
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO cost_priors "
+                    "(experiment, samples, mean_duration, hint_scale, updated_at) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        str(experiment),
+                        samples,
+                        float(mean_duration) if mean_duration is not None else None,
+                        float(hint_scale) if hint_scale is not None else None,
+                        now,
+                    ),
+                )
+                stored += 1
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return stored
+
+    def load_cost_priors(self) -> dict[str, dict[str, Any]]:
+        """The stored priors, in the same shape :meth:`save_cost_priors` takes."""
+        return {
+            row["experiment"]: {
+                "samples": int(row["samples"]),
+                "mean_duration": row["mean_duration"],
+                "hint_scale": row["hint_scale"],
+            }
+            for row in self._conn.execute(
+                "SELECT experiment, samples, mean_duration, hint_scale FROM cost_priors"
+            )
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -717,6 +949,7 @@ class ExperimentStore:
                     if row["depends_on"]
                     else (),
                     deps_pending=int(row["deps_pending"]),
+                    epoch=int(row["epoch"]),
                 )
             )
         return out
