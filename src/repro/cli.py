@@ -8,7 +8,9 @@ Commands
 ``experiments``run the DESIGN.md experiments (E1…E10) and print their tables
 ``constants``  print the paper's derived constants / Lemma-6 sizes for an eps
 ``orch``       persistent parallel experiment orchestration
-               (run/plan/status/priors/reset/export)
+               (run/plan/status/priors/reset/export), plus the distributed
+               fleet commands: ``serve`` (own a store, serve it over TCP)
+               and ``worker --connect`` (drain a served store remotely)
 """
 
 from __future__ import annotations
@@ -163,6 +165,119 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded-wait interleave: every N-th claim takes the oldest "
         "pending row (default: store default of 4; 0 = pure priority order)",
     )
+    orch_run.add_argument(
+        "--save-priors",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="after the run, fit the cost model from this store's measured "
+        "history and write it as a priors JSON (ready for "
+        "`repro orch priors import` into another store)",
+    )
+
+    orch_serve = orch_sub.add_parser(
+        "serve",
+        help="own a local store and serve it to remote workers over TCP "
+        "(SQLite is unsafe on network filesystems; this is the "
+        "multi-machine path)",
+    )
+    orch_serve.add_argument("db", type=Path, help="store path to own and serve")
+    orch_serve.add_argument(
+        "--create",
+        action="store_true",
+        help="create the store file if it does not exist (without this, a "
+        "missing path is an error — a typo must not serve an empty store "
+        "the whole fleet then drains as a no-op)",
+    )
+    orch_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: loopback only; pass 0.0.0.0 to "
+        "accept remote workers — set a --token when you do)",
+    )
+    orch_serve.add_argument(
+        "--port",
+        type=int,
+        # Mirrors repro.distributed.protocol.DEFAULT_PORT; literal here so
+        # building the parser never imports the orchestration stack.
+        default=7479,
+        help="TCP port (default: 7479; 0 = ephemeral, printed on startup)",
+    )
+    orch_serve.add_argument(
+        "--token",
+        default=None,
+        help="shared secret required on every request "
+        "(default: $REPRO_ORCH_TOKEN; unset = no auth)",
+    )
+    orch_serve.add_argument(
+        "--fifo-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded-wait interleave of the served store (global across "
+        "all remote workers)",
+    )
+
+    orch_worker = orch_sub.add_parser(
+        "worker",
+        help="attach to a `repro orch serve` store and drain pending rows "
+        "(claim/complete/re-plan loop over TCP; no populate, no planning)",
+    )
+    orch_worker.add_argument(
+        "experiments",
+        nargs="*",
+        help="restrict claims to these experiments (default: everything pending)",
+    )
+    orch_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="store server address (tcp:// prefix optional)",
+    )
+    orch_worker.add_argument(
+        "--token",
+        default=None,
+        help="shared secret of the server (default: $REPRO_ORCH_TOKEN)",
+    )
+    orch_worker.add_argument(
+        "--workers", type=int, default=2, help="worker processes on this machine"
+    )
+    orch_worker.add_argument(
+        "--stale-after",
+        type=float,
+        default=600.0,
+        help="reclaim 'running' rows older than this many seconds (0 = all)",
+    )
+    orch_worker.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent result cache"
+    )
+    orch_worker.add_argument(
+        "--solver-servers",
+        type=int,
+        default=0,
+        help="subprocess solver servers per worker (0 = solve MILPs inline)",
+    )
+    worker_replan = orch_worker.add_mutually_exclusive_group()
+    worker_replan.add_argument(
+        "--replan-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="online re-planning cadence (default: 5)",
+    )
+    worker_replan.add_argument(
+        "--no-replan",
+        action="store_true",
+        help="never win re-plan rounds from this fleet",
+    )
+    orch_worker.add_argument(
+        "--fifo-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the served store's bounded-wait interleave "
+        "(global across the fleet; last writer wins)",
+    )
 
     orch_plan = orch_sub.add_parser(
         "plan",
@@ -184,8 +299,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for the projected-makespan simulation",
     )
 
+    def _add_connect(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--connect",
+            default=None,
+            metavar="HOST:PORT",
+            help="read from a `repro orch serve` server instead of a local file",
+        )
+        p.add_argument(
+            "--token",
+            default=None,
+            help="shared secret of the server (default: $REPRO_ORCH_TOKEN)",
+        )
+
     orch_status = orch_sub.add_parser("status", help="per-experiment status counts")
     _add_db(orch_status)
+    _add_connect(orch_status)
 
     orch_priors = orch_sub.add_parser(
         "priors",
@@ -238,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", nargs="*", help="experiment names (default: all in store)"
     )
     _add_db(orch_export)
+    _add_connect(orch_export)
     orch_export.add_argument(
         "--format",
         choices=["text", "markdown", "csv", "latex"],
@@ -358,6 +488,33 @@ def _orch_db_path(args: argparse.Namespace) -> Path:
     return Path(os.environ.get("REPRO_ORCH_DB", "orchestration.db"))
 
 
+def _orch_token(args: argparse.Namespace) -> str | None:
+    import os
+
+    return getattr(args, "token", None) or os.environ.get("REPRO_ORCH_TOKEN") or None
+
+
+def _connect_target(connect: str) -> str:
+    return connect if connect.startswith("tcp://") else f"tcp://{connect}"
+
+
+def _open_cli_store(args: argparse.Namespace):
+    """The store a read-only orch command should talk to: remote or local."""
+    if getattr(args, "connect", None):
+        from .distributed import RemoteStore
+
+        return RemoteStore(_connect_target(args.connect), token=_orch_token(args))
+    from .orchestration import ExperimentStore
+
+    return ExperimentStore(_orch_db_path(args))
+
+
+def _store_label(args: argparse.Namespace) -> str:
+    if getattr(args, "connect", None):
+        return _connect_target(args.connect)
+    return str(_orch_db_path(args))
+
+
 def _resolve_spec_names(experiments: list[str]) -> list[str]:
     """Map user-typed names to registry names, exiting cleanly on unknowns."""
     from .orchestration import registry
@@ -367,6 +524,18 @@ def _resolve_spec_names(experiments: list[str]) -> list[str]:
     except KeyError as exc:
         # The KeyError message lists the available experiment names.
         raise SystemExit(f"error: {exc.args[0]}") from exc
+
+
+def _resolve_replan_every(args: argparse.Namespace) -> int:
+    if args.no_replan:
+        return 0
+    if args.replan_every is not None:
+        if args.replan_every < 1:
+            raise SystemExit("error: --replan-every must be >= 1 (or use --no-replan)")
+        return args.replan_every
+    from .orchestration.runner import DEFAULT_REPLAN_EVERY
+
+    return DEFAULT_REPLAN_EVERY
 
 
 def _cmd_orch_run(args: argparse.Namespace) -> int:
@@ -384,16 +553,7 @@ def _cmd_orch_run(args: argparse.Namespace) -> int:
             )
     if args.fifo_every is not None and args.fifo_every < 0:
         raise SystemExit("error: --fifo-every must be >= 0 (0 = pure priority order)")
-    if args.no_replan:
-        replan_every = 0
-    elif args.replan_every is not None:
-        if args.replan_every < 1:
-            raise SystemExit("error: --replan-every must be >= 1 (or use --no-replan)")
-        replan_every = args.replan_every
-    else:
-        from .orchestration.runner import DEFAULT_REPLAN_EVERY
-
-        replan_every = DEFAULT_REPLAN_EVERY
+    replan_every = _resolve_replan_every(args)
     report = run_pool(
         _orch_db_path(args),
         names,
@@ -416,6 +576,90 @@ def _cmd_orch_run(args: argparse.Namespace) -> int:
             f"planner: hoisted {report.hoisted} shared prerequisites, "
             f"gated {report.dependency_edges} cells"
         )
+    print(
+        f"workers={report.workers} claimed={report.claimed} done={report.done} "
+        f"errors={report.errors} replans={report.replans}"
+    )
+    print(f"wall_time_s={report.wall_time:.3f}")
+    if args.save_priors is not None:
+        from .orchestration import ExperimentStore
+        from .orchestration.scheduling import CostModel, save_priors
+
+        # Own measured history only (no re-blend of imported priors), for
+        # the same reason `orch priors export` does it: re-exporting a
+        # blend would re-count the same samples on every round-trip.
+        with ExperimentStore(_orch_db_path(args)) as store:
+            model = CostModel.fit(store, use_priors=False)
+        try:
+            count = save_priors(model, args.save_priors)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write {args.save_priors}: {exc}") from exc
+        print(f"saved priors for {count} experiments to {args.save_priors}")
+    return 1 if report.errors else 0
+
+
+def _cmd_orch_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .distributed import StoreServer
+
+    if not args.db.exists() and not args.create:
+        raise SystemExit(
+            f"error: store {args.db} does not exist "
+            "(pass --create to serve a brand-new empty store)"
+        )
+    token = _orch_token(args)
+    if token is None and args.host not in ("127.0.0.1", "localhost", "::1"):
+        print(
+            "warning: serving a non-loopback interface without --token — "
+            "any network peer can mutate this store",
+            file=sys.stderr,
+        )
+    server = StoreServer(
+        args.db,
+        host=args.host,
+        port=args.port,
+        token=token,
+        fifo_every=args.fifo_every,
+    )
+    print(
+        f"serving {args.db} on {server.url}"
+        + (" (token auth)" if token else " (no auth)"),
+        flush=True,
+    )
+
+    def _stop(signum: int, frame: object) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        print("store server stopped", flush=True)
+    return 0
+
+
+def _cmd_orch_worker(args: argparse.Namespace) -> int:
+    from .orchestration import run_workers
+
+    names = _resolve_spec_names(args.experiments) if args.experiments else None
+    if args.fifo_every is not None and args.fifo_every < 0:
+        raise SystemExit("error: --fifo-every must be >= 0 (0 = pure priority order)")
+    report = run_workers(
+        _connect_target(args.connect),
+        names,
+        workers=args.workers,
+        stale_after=args.stale_after,
+        use_cache=not args.no_cache,
+        solver_servers=args.solver_servers,
+        replan_every=_resolve_replan_every(args),
+        fifo_every=args.fifo_every,
+        token=_orch_token(args),
+    )
+    print(f"reclaimed {report.reclaimed} stale rows")
     print(
         f"workers={report.workers} claimed={report.claimed} done={report.done} "
         f"errors={report.errors} replans={report.replans}"
@@ -480,15 +724,13 @@ def _cmd_orch_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_orch_status(args: argparse.Namespace) -> int:
-    from .orchestration import ExperimentStore
-
-    with ExperimentStore(_orch_db_path(args)) as store:
+    with _open_cli_store(args) as store:
         counts = store.status_counts()
         cache = store.cache_stats()
         completions = store.completion_count()
         epoch = store.replan_epoch()
         priors = len(store.load_cost_priors())
-    table = ExperimentTable("orch", f"store status ({_orch_db_path(args)})")
+    table = ExperimentTable("orch", f"store status ({_store_label(args)})")
     for experiment in sorted(counts):
         per_status = counts[experiment]
         table.add_row(
@@ -567,10 +809,10 @@ def _cmd_orch_reset(args: argparse.Namespace) -> int:
 
 
 def _cmd_orch_export(args: argparse.Namespace) -> int:
-    from .orchestration import ExperimentStore, registry
+    from .orchestration import registry
     from .orchestration.export import export_experiment
 
-    with ExperimentStore(_orch_db_path(args)) as store:
+    with _open_cli_store(args) as store:
         in_store = store.experiments()
         # prereq rows are scheduling infrastructure, not an experiment table;
         # export them only when named explicitly.
@@ -618,6 +860,8 @@ def _cmd_orch_export(args: argparse.Namespace) -> int:
 
 _ORCH_HANDLERS = {
     "run": _cmd_orch_run,
+    "serve": _cmd_orch_serve,
+    "worker": _cmd_orch_worker,
     "plan": _cmd_orch_plan,
     "status": _cmd_orch_status,
     "priors": _cmd_orch_priors,
@@ -627,7 +871,14 @@ _ORCH_HANDLERS = {
 
 
 def _cmd_orch(args: argparse.Namespace) -> int:
-    return _ORCH_HANDLERS[args.orch_command](args)
+    from .distributed.protocol import ProtocolError
+
+    try:
+        return _ORCH_HANDLERS[args.orch_command](args)
+    except ProtocolError as exc:
+        # Connection refused, auth rejected, server-side store errors: a
+        # one-line diagnosis, not a traceback.
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def main(argv: Sequence[str] | None = None) -> int:

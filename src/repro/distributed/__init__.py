@@ -1,0 +1,75 @@
+"""Multi-machine experiment fleets: a store server and remote workers.
+
+SQLite WAL coordinates workers on one host but is unsafe on network
+filesystems, so the orchestration engine's claim/complete/re-plan semantics
+stop at the machine boundary.  This package moves that boundary to a TCP
+port:
+
+* :mod:`~repro.distributed.protocol` — length-prefixed JSON frames, request
+  ids, op-id replay for safe retries, and :class:`StoreProtocol`: the
+  extracted public surface of
+  :class:`~repro.orchestration.store.ExperimentStore` that the runner,
+  scheduler, planner and export paths consume.
+* :mod:`~repro.distributed.server` — :class:`StoreServer`: a threaded TCP
+  server owning one local store; every request dispatches under one lock,
+  so concurrent remote claims serialize through the single writer SQLite
+  requires anyway (``repro orch serve DB``).
+* :mod:`~repro.distributed.client` — :class:`RemoteStore`: the same
+  protocol over a persistent socket with reconnect + retry, claim-safe on
+  timeout thanks to op-id replay (``repro orch worker --connect`` /
+  ``repro orch status|export --connect``).
+
+A fleet is: one ``repro orch serve`` beside the SQLite file, any number of
+``repro orch worker --connect host:port`` processes on any machines — each
+worker runs the full cost-model / re-planning / bounded-wait claim loop of
+:func:`repro.orchestration.runner.run_worker`, just against a socket.
+"""
+
+from .client import RemoteStore, StoreConnectionError
+from .protocol import (
+    DEFAULT_PORT,
+    ConnectionClosed,
+    FrameError,
+    ProtocolError,
+    RemoteOperationError,
+    StoreProtocol,
+    format_address,
+    is_remote_target,
+    parse_address,
+)
+from .server import StoreServer
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ConnectionClosed",
+    "FrameError",
+    "ProtocolError",
+    "RemoteOperationError",
+    "RemoteStore",
+    "StoreConnectionError",
+    "StoreProtocol",
+    "StoreServer",
+    "format_address",
+    "is_remote_target",
+    "open_store",
+    "parse_address",
+]
+
+
+def open_store(
+    target,
+    *,
+    fifo_every: int | None = None,
+    token: str | None = None,
+):
+    """Open a store by target: a local path or a ``tcp://host:port`` address.
+
+    The uniform entry point the runner and CLI use — everything downstream
+    only sees a :class:`StoreProtocol`.
+    """
+    if is_remote_target(target):
+        return RemoteStore(target, token=token, fifo_every=fifo_every)
+    from ..orchestration.store import ExperimentStore
+
+    kwargs = {} if fifo_every is None else {"fifo_every": fifo_every}
+    return ExperimentStore(target, **kwargs)

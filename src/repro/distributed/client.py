@@ -1,0 +1,465 @@
+"""RemoteStore: the experiment store over a socket.
+
+Implements the full :class:`~repro.distributed.protocol.StoreProtocol`
+against a :class:`~repro.distributed.server.StoreServer`, so the runner,
+scheduler, planner, export and cache layers work unchanged when handed one
+— a worker process on another machine is just ``run_worker`` with a
+``tcp://host:port`` target instead of a file path.
+
+Reliability model
+-----------------
+One persistent socket, one request in flight at a time (workers are
+sequential; concurrency comes from running many workers, each with its own
+``RemoteStore``).  On a connection failure or timeout the socket is dropped
+and the call retried on a fresh connection, with backoff:
+
+* *Reads* are naturally idempotent — retried verbatim.
+* *Mutating calls* (claims, completions, reclaims, priority writes) carry a
+  client-generated op id.  If the original request actually executed and
+  only the reply was lost, the server replays the recorded reply instead of
+  executing again — a retried ``complete()`` never double-releases
+  dependents, and a timed-out ``claim_next()`` recovers the very row the
+  lost reply claimed rather than claiming (and stranding) a second one.
+
+Only transport failures are retried.  A structured error reply from the
+server (store exception, unknown method) raises
+:class:`~repro.distributed.protocol.RemoteOperationError` immediately, and
+an ``AuthError`` raises without any retry — a wrong token cannot become a
+reconnect storm.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..orchestration.store import ClaimedRow, StoredRow
+from .protocol import (
+    MUTATING_METHODS,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameError,
+    ProtocolError,
+    RemoteOperationError,
+    encode_frame,
+    parse_address,
+    recv_frame,
+)
+
+__all__ = ["RemoteStore", "StoreConnectionError"]
+
+
+class StoreConnectionError(ProtocolError):
+    """The server could not be reached (after the configured retries)."""
+
+
+class RemoteStore:
+    """A :class:`StoreProtocol` implementation speaking to a store server.
+
+    ``target`` is ``"host:port"`` or ``"tcp://host:port"``.  ``fifo_every``
+    (when given) is pushed to the server — the interleave counter is global
+    scheduler state, so this adjusts every worker's bounded-wait knob, last
+    writer wins.  ``timeout`` bounds each request round-trip; ``retries``
+    transport-level retry attempts are made before
+    :class:`StoreConnectionError` (reads and op-id-guarded mutations are
+    both safe to retry, see the module docstring).
+    """
+
+    def __init__(
+        self,
+        target: str,
+        *,
+        token: str | None = None,
+        fifo_every: int | None = None,
+        timeout: float = 60.0,
+        connect_timeout: float = 10.0,
+        retries: int = 4,
+        retry_delay: float = 0.2,
+    ) -> None:
+        self.host, self.port = parse_address(target)
+        self._token = token
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout
+        self._retries = max(0, int(retries))
+        self._retry_delay = retry_delay
+        self._sock: socket.socket | None = None
+        self._request_id = 0
+        self._closed = False
+        info = self._call("store_info", {})
+        self._check_protocol(info)
+        if fifo_every is not None:
+            self.fifo_every = int(
+                self._call("set_fifo_every", {"fifo_every": int(fifo_every)})
+            )
+        else:
+            self.fifo_every = int(info["fifo_every"])
+
+    def _check_protocol(self, info: Any) -> None:
+        """Fail at connect time on a server speaking another protocol version.
+
+        Without this an incompatible pair would surface as confusing
+        per-method errors mid-drain instead of one clean mismatch up front.
+        """
+        version = info.get("protocol") if isinstance(info, Mapping) else None
+        if version != PROTOCOL_VERSION:
+            self.close()
+            raise StoreConnectionError(
+                f"store server at {self.host}:{self.port} speaks protocol "
+                f"{version!r}; this client speaks {PROTOCOL_VERSION}"
+            )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        deadline = time.monotonic() + self._connect_timeout
+        delay = self._retry_delay
+        while True:
+            try:
+                # Cap each attempt at the remaining knocking deadline too:
+                # a black-holed address (firewall DROP) would otherwise sit
+                # in one connect for the full request timeout.
+                sock = socket.create_connection(
+                    (self.host, self.port),
+                    timeout=min(
+                        self._timeout, max(0.1, deadline - time.monotonic())
+                    ),
+                )
+            except OSError as exc:
+                # Keep knocking until the deadline: a server mid-restart (or
+                # a CI job that just forked `repro orch serve`) comes up
+                # within moments, and waiting here is what lets every
+                # worker simply outlive it.
+                if time.monotonic() >= deadline:
+                    raise StoreConnectionError(
+                        f"cannot connect to store server at {self.host}:{self.port}: {exc}"
+                    ) from exc
+                time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+                delay = min(delay * 2, 2.0)
+            else:
+                sock.settimeout(self._timeout)  # request timeout from here on
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._sock = sock
+                return sock
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _call(self, method: str, params: dict[str, Any]) -> Any:
+        if self._closed:
+            raise StoreConnectionError("RemoteStore is closed")
+        self._request_id += 1
+        payload: dict[str, Any] = {
+            "id": self._request_id,
+            "method": method,
+            "params": params,
+        }
+        if self._token is not None:
+            payload["token"] = self._token
+        if method in MUTATING_METHODS:
+            payload["op"] = uuid.uuid4().hex
+        # Serialised before the retry loop: an unframeable *request* (over
+        # the frame ceiling, non-JSON value) is a local payload bug — it
+        # raises FrameError straight to the caller instead of being retried
+        # and misreported as an unreachable server.
+        frame = encode_frame(payload)
+        last_exc: Exception | None = None
+        for attempt in range(self._retries + 1):
+            try:
+                sock = self._sock or self._connect()
+                sock.sendall(frame)
+                reply = recv_frame(sock)
+                if reply.get("id") != payload["id"]:
+                    # A half-read earlier frame desynchronised the stream;
+                    # the connection is unusable, but the request is safe to
+                    # replay (op id) or re-issue (read).
+                    raise FrameError(
+                        f"reply id {reply.get('id')!r} does not match request "
+                        f"{payload['id']!r}"
+                    )
+            except (OSError, ConnectionClosed, FrameError) as exc:
+                self._disconnect()
+                last_exc = exc
+                if attempt < self._retries:
+                    time.sleep(self._retry_delay * (attempt + 1))
+                    continue
+                raise StoreConnectionError(
+                    f"store server at {self.host}:{self.port} unreachable "
+                    f"after {self._retries + 1} attempts: {exc}"
+                ) from exc
+            error = reply.get("error")
+            if error is not None:
+                if error.get("type") == "ServerClosed":
+                    # A server mid-shutdown is a transport condition, not an
+                    # application error: drop the connection and retry — a
+                    # replacement server on the same address picks us up.
+                    self._disconnect()
+                    last_exc = RemoteOperationError(
+                        "ServerClosed", str(error.get("message", ""))
+                    )
+                    if attempt < self._retries:
+                        time.sleep(self._retry_delay * (attempt + 1))
+                        continue
+                    raise StoreConnectionError(
+                        f"store server at {self.host}:{self.port} is shutting down"
+                    ) from last_exc
+                raise RemoteOperationError(
+                    str(error.get("type", "Error")), str(error.get("message", ""))
+                )
+            return reply.get("result")
+        raise StoreConnectionError(str(last_exc))  # pragma: no cover - unreachable
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+        self._disconnect()
+
+    def __enter__(self) -> "RemoteStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def ping(self) -> bool:
+        return self._call("ping", {}) == "pong"
+
+    def store_info(self) -> dict[str, Any]:
+        return self._call("store_info", {})
+
+    # ------------------------------------------------------------------
+    # Grid population and claiming
+    # ------------------------------------------------------------------
+    def add_rows(self, experiment: str, grid: Iterable[Mapping[str, Any]]) -> int:
+        return int(
+            self._call(
+                "add_rows",
+                {"experiment": experiment, "grid": [dict(params) for params in grid]},
+            )
+        )
+
+    def claim_next(
+        self, worker: str, experiments: Sequence[str] | None = None
+    ) -> ClaimedRow | None:
+        result = self._call(
+            "claim_next", {"worker": worker, "experiments": _names(experiments)}
+        )
+        return ClaimedRow(**result) if result is not None else None
+
+    def complete(
+        self,
+        row_id: int,
+        result: Mapping[str, Any],
+        *,
+        duration: float,
+        worker: str | None = None,
+    ) -> bool:
+        return bool(
+            self._call(
+                "complete",
+                {
+                    "row_id": row_id,
+                    "result": dict(result),
+                    "duration": duration,
+                    "worker": worker,
+                },
+            )
+        )
+
+    def fail(
+        self, row_id: int, error: str, *, duration: float, worker: str | None = None
+    ) -> bool:
+        return bool(
+            self._call(
+                "fail",
+                {"row_id": row_id, "error": error, "duration": duration, "worker": worker},
+            )
+        )
+
+    def reclaim_stale(
+        self, *, older_than: float = 0.0, experiments: Sequence[str] | None = None
+    ) -> int:
+        return int(
+            self._call(
+                "reclaim_stale",
+                {"older_than": older_than, "experiments": _names(experiments)},
+            )
+        )
+
+    def reset(
+        self,
+        experiments: Sequence[str] | None = None,
+        *,
+        statuses: Sequence[str] = ("running", "error"),
+    ) -> int:
+        return int(
+            self._call(
+                "reset", {"experiments": _names(experiments), "statuses": list(statuses)}
+            )
+        )
+
+    def delete_rows(
+        self,
+        experiments: Sequence[str] | None = None,
+        *,
+        statuses: Sequence[str] | None = None,
+    ) -> int:
+        return int(
+            self._call(
+                "delete_rows",
+                {
+                    "experiments": _names(experiments),
+                    "statuses": list(statuses) if statuses is not None else None,
+                },
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def set_schedule(
+        self,
+        entries: Iterable[tuple[str, str, float, float | None]],
+        *,
+        if_replan_round: int | None = None,
+    ) -> int | None:
+        result = self._call(
+            "set_schedule",
+            {
+                "entries": [list(entry) for entry in entries],
+                "if_replan_round": if_replan_round,
+            },
+        )
+        return int(result) if result is not None else None
+
+    def set_dependencies(
+        self, experiment: str, param_hash: str, depends_on: Sequence[str]
+    ) -> bool:
+        return bool(
+            self._call(
+                "set_dependencies",
+                {
+                    "experiment": experiment,
+                    "param_hash": param_hash,
+                    "depends_on": list(depends_on),
+                },
+            )
+        )
+
+    def sync_dependencies(self, experiments: Sequence[str] | None = None) -> int:
+        return int(self._call("sync_dependencies", {"experiments": _names(experiments)}))
+
+    def blocked_count(self, experiments: Sequence[str] | None = None) -> int:
+        return int(self._call("blocked_count", {"experiments": _names(experiments)}))
+
+    def blocking_dependencies(
+        self, experiments: Sequence[str] | None = None
+    ) -> list[dict[str, Any]]:
+        return self._call("blocking_dependencies", {"experiments": _names(experiments)})
+
+    def fail_blocked_on_error(self, experiments: Sequence[str] | None = None) -> int:
+        return int(
+            self._call("fail_blocked_on_error", {"experiments": _names(experiments)})
+        )
+
+    # ------------------------------------------------------------------
+    # Online re-planning
+    # ------------------------------------------------------------------
+    def completion_count(self) -> int:
+        return int(self._call("completion_count", {}))
+
+    def replan_epoch(self) -> int:
+        return int(self._call("replan_epoch", {}))
+
+    def try_begin_replan(self, every: int) -> int | None:
+        result = self._call("try_begin_replan", {"every": every})
+        return int(result) if result is not None else None
+
+    def publish_replan_epoch(self, round_no: int) -> None:
+        self._call("publish_replan_epoch", {"round_no": round_no})
+
+    def duration_history(
+        self, experiments: Sequence[str] | None = None
+    ) -> list[tuple[str, dict[str, Any], float]]:
+        return [
+            (experiment, params, duration)
+            for experiment, params, duration, _, _ in self.duration_samples(experiments)
+        ]
+
+    def duration_samples(
+        self,
+        experiments: Sequence[str] | None = None,
+        *,
+        since: tuple[float, int] | None = None,
+    ) -> list[tuple[str, dict[str, Any], float, float, int]]:
+        rows = self._call(
+            "duration_samples",
+            {"experiments": _names(experiments), "since": list(since) if since else None},
+        )
+        # Tuples (not JSON's lists): CostModel.refit compares watermarks.
+        return [tuple(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Cross-store cost priors
+    # ------------------------------------------------------------------
+    def save_cost_priors(self, priors: Mapping[str, Mapping[str, Any]]) -> int:
+        return int(
+            self._call(
+                "save_cost_priors",
+                {"priors": {name: dict(stats) for name, stats in priors.items()}},
+            )
+        )
+
+    def load_cost_priors(self) -> dict[str, dict[str, Any]]:
+        return self._call("load_cost_priors", {})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status_counts(self) -> dict[str, dict[str, int]]:
+        return self._call("status_counts", {})
+
+    def pending_count(self, experiments: Sequence[str] | None = None) -> int:
+        return int(self._call("pending_count", {"experiments": _names(experiments)}))
+
+    def fetch_rows(
+        self, experiment: str, *, status: str | None = None
+    ) -> list[StoredRow]:
+        rows = self._call("fetch_rows", {"experiment": experiment, "status": status})
+        return [
+            StoredRow(**{**row, "depends_on": tuple(row.get("depends_on") or ())})
+            for row in rows
+        ]
+
+    def experiments(self) -> list[str]:
+        return list(self._call("experiments", {}))
+
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+    def cache_contains(self, key: str) -> bool:
+        return bool(self._call("cache_contains", {"key": key}))
+
+    def cache_get(self, key: str) -> dict[str, Any] | None:
+        return self._call("cache_get", {"key": key})
+
+    def cache_put(self, key: str, solver: str, payload: Mapping[str, Any]) -> None:
+        self._call("cache_put", {"key": key, "solver": solver, "payload": dict(payload)})
+
+    def cache_stats(self) -> dict[str, int]:
+        return self._call("cache_stats", {})
+
+    def clear_cache(self) -> int:
+        return int(self._call("clear_cache", {}))
+
+
+def _names(experiments: Sequence[str] | None) -> list[str] | None:
+    return list(experiments) if experiments is not None else None

@@ -21,6 +21,12 @@ Turns the in-memory experiment drivers into a database-backed engine:
 * :mod:`~repro.orchestration.export` — completed rows back out as
   :class:`~repro.experiments.tables.ExperimentTable`, CSV or LaTeX.
 
+Every layer consumes the store through its extracted public surface
+(:class:`repro.distributed.StoreProtocol`), so the whole engine also runs
+against a :class:`repro.distributed.RemoteStore` — ``repro orch serve`` on
+the store host, ``repro orch worker --connect`` on any number of other
+machines (see :mod:`repro.distributed`).
+
 Typical workflow (also exposed as ``repro orch ...``)::
 
     from repro.orchestration import ExperimentStore, run_pool, export
@@ -48,7 +54,7 @@ from .planner import (
     replan,
 )
 from .registry import ExperimentSpec, get_spec, run_spec_inline, spec_names
-from .runner import RunReport, populate, run_pool, run_worker
+from .runner import RunReport, populate, run_pool, run_worker, run_workers
 from .scheduling import (
     CostModel,
     claim_order,
@@ -88,6 +94,7 @@ __all__ = [
     "run_pool",
     "run_spec_inline",
     "run_worker",
+    "run_workers",
     "save_priors",
     "simulate_makespan",
     "spec_names",

@@ -47,7 +47,9 @@ __all__ = [
 
 _memo: dict[str, dict[str, Any]] = {}
 _memo_hits = 0
-_active: ExperimentStore | None = None
+# The persistent layer: a local ExperimentStore, or any store-shaped object
+# installed via cache_scope (a RemoteStore in distributed workers).
+_active: Any = None
 _env_checked = False
 
 ENV_CACHE_DB = "REPRO_CACHE_DB"
@@ -99,19 +101,34 @@ def activate_cache(path: str | os.PathLike[str]) -> ExperimentStore:
 
 
 @contextmanager
-def cache_scope(path: str | os.PathLike[str] | None) -> Iterator[ExperimentStore | None]:
+def cache_scope(
+    target: "str | os.PathLike[str] | Any | None",
+) -> Iterator[Any]:
     """Temporarily install a persistent cache layer, restoring the previous one.
 
-    ``path=None`` disables the persistent layer for the scope's duration —
+    ``target=None`` disables the persistent layer for the scope's duration —
     including the ``REPRO_CACHE_DB`` env fallback, so ``--no-cache`` really
-    means no persistent reads or writes.  Unlike :func:`activate_cache` this
-    never leaks process-global state: the runner wraps each worker loop in
-    it, so a ``workers=1`` inline run inside a larger process (library use,
-    tests) leaves the ambient cache untouched.
+    means no persistent reads or writes.  A path opens (and owns) a local
+    :class:`ExperimentStore`; an already-open store-shaped object — anything
+    with the cache methods of
+    :class:`~repro.distributed.protocol.StoreProtocol`, in practice a
+    :class:`~repro.distributed.client.RemoteStore` — is used as-is and left
+    open for its owner to close, which is how a remote worker's cache reads
+    and writes travel over the same server connection as its claims.
+    Unlike :func:`activate_cache` this never leaks process-global state: the
+    runner wraps each worker loop in it, so a ``workers=1`` inline run
+    inside a larger process (library use, tests) leaves the ambient cache
+    untouched.
     """
     global _active, _env_checked
     prev_active, prev_checked = _active, _env_checked
-    store = ExperimentStore(path) if path is not None else None
+    owned: ExperimentStore | None = None
+    if target is None:
+        store = None
+    elif hasattr(target, "cache_get"):
+        store = target
+    else:
+        store = owned = ExperimentStore(target)
     _active = store
     _env_checked = True  # pin: no lazy env activation while the scope holds
     try:
@@ -120,8 +137,8 @@ def cache_scope(path: str | os.PathLike[str] | None) -> Iterator[ExperimentStore
         if _active is store:
             _active = prev_active
             _env_checked = prev_checked
-        if store is not None:
-            store.close()
+        if owned is not None:
+            owned.close()
 
 
 def deactivate_cache() -> None:
@@ -132,7 +149,7 @@ def deactivate_cache() -> None:
     _env_checked = True  # an explicit deactivate also disables the env fallback
 
 
-def active_cache() -> ExperimentStore | None:
+def active_cache() -> Any:
     """The persistent cache layer, lazily honouring ``REPRO_CACHE_DB``."""
     global _active, _env_checked
     if _active is None and not _env_checked:

@@ -11,11 +11,14 @@ from __future__ import annotations
 import math
 import os
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..experiments.tables import ExperimentTable
 from . import registry
-from .store import ExperimentStore, params_hash
+from .store import params_hash
+
+if TYPE_CHECKING:  # the extracted store surface; local and remote stores both satisfy it
+    from ..distributed.protocol import StoreProtocol
 
 __all__ = [
     "table_from_store",
@@ -180,7 +183,7 @@ def _replan_trend_note(done_rows: list[Any]) -> str | None:
 
 
 def table_from_store(
-    store: ExperimentStore,
+    store: "StoreProtocol",
     experiment: str,
     *,
     quick: bool = True,
@@ -254,7 +257,7 @@ _EXTENSIONS = {"text": ".txt", "markdown": ".md", "csv": ".csv", "latex": ".tex"
 
 
 def export_experiment(
-    store: ExperimentStore,
+    store: "StoreProtocol",
     experiment: str,
     fmt: str = "text",
     *,

@@ -37,13 +37,16 @@ every refit.  The runner calls it each time it wins a re-plan epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..core.instance import Instance
 from ..core.result import SolverResult
 from .cache import cache_key
 from .scheduling import CostModel, priority_entries, simulate_makespan
-from .store import ExperimentStore, params_hash
+from .store import params_hash
+
+if TYPE_CHECKING:  # the extracted store surface; local and remote stores both satisfy it
+    from ..distributed.protocol import StoreProtocol
 
 __all__ = [
     "PREREQ_EXPERIMENT",
@@ -166,7 +169,7 @@ def prereq_cost_hint(params: dict[str, Any]) -> float:
 
 
 def plan(
-    store: ExperimentStore,
+    store: "StoreProtocol",
     experiments: Sequence[str],
     *,
     quick: bool = True,
@@ -269,7 +272,7 @@ def plan(
 
 
 def _gate_boost_entries(
-    store: ExperimentStore,
+    store: "StoreProtocol",
     model: CostModel,
     known_estimates: Mapping[tuple[str, str], float] | None = None,
 ) -> tuple[list[tuple[str, str, float, float | None]], float]:
@@ -317,7 +320,7 @@ def _gate_boost_entries(
     return boosts, total
 
 
-def apply_gate_boosts(store: ExperimentStore, model: CostModel) -> dict[str, Any]:
+def apply_gate_boosts(store: "StoreProtocol", model: CostModel) -> dict[str, Any]:
     """Recompute the priority of every pending ``prereq`` row from the store.
 
     A prerequisite delays everything behind it, so its priority is its own
@@ -331,7 +334,7 @@ def apply_gate_boosts(store: ExperimentStore, model: CostModel) -> dict[str, Any
 
 
 def replan(
-    store: ExperimentStore,
+    store: "StoreProtocol",
     *,
     model: CostModel,
     experiments: Sequence[str] | None = None,

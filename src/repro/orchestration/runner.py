@@ -14,6 +14,18 @@ Crash safety: a worker killed mid-cell leaves its row ``running``.  The next
 so interrupted rows are re-executed while ``done`` rows are never touched —
 that is the resume path.
 
+Distributed fleets: :func:`run_worker` and :func:`run_workers` take a
+``tcp://host:port`` target in place of a store path — the worker then
+opens a :class:`repro.distributed.RemoteStore` against a ``repro orch
+serve`` process instead of the SQLite file, and the whole
+claim/complete/re-plan loop (including the persistent result cache, which
+rides the same connection) runs unchanged across machines.
+:func:`run_workers` is the attach-and-drain entry point behind ``repro
+orch worker --connect``: no grid expansion, no planning — just reclaim +
+drain against a store that was seeded elsewhere.  :func:`run_pool` is the
+seed-plan-drain pipeline and stays local-only (it rejects remote targets):
+grids are expanded and planned once, where the file lives.
+
 Solver servers: with ``solver_servers > 0`` each worker process installs a
 shared :class:`repro.solver.SolverPool` of that many subprocess solver
 servers around its claim–execute loop, so the MILP solves inside a cell can
@@ -49,6 +61,7 @@ from __future__ import annotations
 import os
 import time
 import traceback
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -60,13 +73,18 @@ from .planner import PREREQ_EXPERIMENT, replan
 from .scheduling import CostModel
 from .store import ExperimentStore
 
-__all__ = ["RunReport", "populate", "run_pool", "run_worker"]
+__all__ = ["RunReport", "populate", "run_pool", "run_worker", "run_workers"]
 
 SOLVER_TELEMETRY_KEY = "_solver_telemetry"
 
 # How long an idle worker sleeps between polls while rows it could run are
 # still blocked on an in-flight prerequisite of another worker.
 BLOCKED_POLL_SECONDS = 0.05
+# Remote workers poll blocked rows more gently: one poll cycle is several
+# RPCs that all serialize through the store server's single dispatch lock,
+# and a large fleet spinning at the local cadence would starve the worker
+# actually executing the prerequisite of claim/complete latency.
+REMOTE_BLOCKED_POLL_SECONDS = 0.5
 
 # Default re-plan cadence: one priority refresh per this many landed
 # completions.  Small enough that a badly calibrated grid converges within
@@ -99,6 +117,20 @@ class RunReport:
         self.errors += other.errors
         self.replans += other.replans
         self.worker_tags.extend(other.worker_tags)
+
+
+def _open_store(target, *, fifo_every: int | None = None, token: str | None = None):
+    """A store for a target: local path or ``tcp://host:port`` server address."""
+    # Deferred import: repro.distributed imports this package's store module.
+    from ..distributed import open_store
+
+    return open_store(target, fifo_every=fifo_every, token=token)
+
+
+def _is_remote(target) -> bool:
+    from ..distributed import is_remote_target
+
+    return is_remote_target(target)
 
 
 def populate(
@@ -171,8 +203,14 @@ def run_worker(
     stale_after: float = 600.0,
     replan_every: int = 0,
     fifo_every: int | None = None,
+    token: str | None = None,
 ) -> RunReport:
     """Claim-execute-writeback loop of a single worker (also used inline).
+
+    ``db_path`` may be a local store path or a ``tcp://host:port`` server
+    address — the loop is identical either way; against a server, the
+    persistent result cache is the *server's* cache table, reached over the
+    same connection as the claims (``token`` authenticates every request).
 
     ``solver_servers > 0`` installs a shared subprocess solver pool for the
     lifetime of the loop: every MILP solved by any cell this worker executes
@@ -190,20 +228,28 @@ def run_worker(
     store's bounded-wait interleave (``None`` keeps the store default).
     """
     report = RunReport(worker_tags=[worker_tag])
-    store_kwargs = {} if fifo_every is None else {"fifo_every": fifo_every}
     # This worker's cost model, materialised lazily on its first re-plan
     # win: store priors seed it, then every win EWMA-consumes the durations
     # finished after `refit_watermark` (its last refit), so samples are
     # counted exactly once per worker regardless of who won other rounds.
     model: CostModel | None = None
     refit_watermark: tuple[float, int] | None = None
+    remote = _is_remote(db_path)
+    blocked_poll = REMOTE_BLOCKED_POLL_SECONDS if remote else BLOCKED_POLL_SECONDS
+    store = _open_store(db_path, fifo_every=fifo_every, token=token)
+    if not use_cache:
+        cache_target = None
+    elif remote:
+        cache_target = store  # cache reads/writes ride the server connection
+    else:
+        cache_target = db_path
     # cache_scope (not activate_cache) so the inline workers=1 path does not
     # leave the process-global cache pointed at this store after returning;
-    # a None path pins the persistent layer (and its env fallback) off, so
+    # a None target pins the persistent layer (and its env fallback) off, so
     # use_cache=False cannot be overridden by REPRO_CACHE_DB.
-    with cache_scope(db_path if use_cache else None), ExperimentStore(
-        db_path, **store_kwargs
-    ) as store, pooled_service_scope(solver_servers) as solver_service:
+    with store, cache_scope(cache_target), pooled_service_scope(
+        solver_servers
+    ) as solver_service:
         while True:
             claimed = store.claim_next(worker_tag, experiments)
             if claimed is None:
@@ -213,7 +259,7 @@ def run_worker(
                     store, experiments, stale_after=stale_after
                 ):
                     break
-                time.sleep(BLOCKED_POLL_SECONDS)
+                time.sleep(blocked_poll)
                 continue
             report.claimed += 1
             start = time.perf_counter()
@@ -259,6 +305,131 @@ def run_worker(
                     # superseded this one mid-refit) wrote nothing.
                     if not summary["stale"]:
                         report.replans += 1
+    return report
+
+
+def _claim_scope(store, names: Sequence[str] | None) -> Sequence[str] | None:
+    """Widen an experiment filter to include unfinished ``prereq`` rows.
+
+    Workers must be able to claim the prerequisite rows their cells are
+    gated on — including when no new planning happens, since edges already
+    in the store still apply: stranding prereq rows outside the claim scope
+    would leave gated cells pending forever while the drain exits 0.
+    "running" counts too: an orphaned prereq claimed by a dead worker must
+    fall inside the reclaim and claim scope or its dependents would wait on
+    it forever.  ``names=None`` (claim everything) already covers prereqs.
+    """
+    if names is None or PREREQ_EXPERIMENT in names:
+        return names
+    prereq_counts = store.status_counts().get(PREREQ_EXPERIMENT, {})
+    unfinished = prereq_counts.get("pending", 0) + prereq_counts.get("running", 0)
+    return list(names) + [PREREQ_EXPERIMENT] if unfinished else names
+
+
+def _drain(
+    target,
+    claim_names: Sequence[str] | None,
+    report: RunReport,
+    *,
+    use_cache: bool,
+    solver_servers: int,
+    stale_after: float,
+    replan_every: int,
+    fifo_every: int | None,
+    token: str | None = None,
+) -> None:
+    """Run ``report.workers`` claim loops against ``target``, merging results.
+
+    Worker tags must be unique across the whole fleet, not just this host:
+    the store's late-writeback guard (``complete ... AND worker = ?``)
+    would otherwise let a stalled worker on one machine clobber the claim
+    of an identically-tagged worker on another after a stale reclaim.  A
+    worker index + pid alone can collide across machines (and containers
+    may even share hostnames), so each invocation adds a random fleet
+    suffix.
+    """
+    fleet = f"{os.getpid()}.{uuid.uuid4().hex[:6]}"
+    if report.workers == 1:
+        report.merge(
+            run_worker(
+                target,
+                claim_names,
+                f"w0.{fleet}",
+                use_cache=use_cache,
+                solver_servers=solver_servers,
+                stale_after=stale_after,
+                replan_every=replan_every,
+                fifo_every=fifo_every,
+                token=token,
+            )
+        )
+        return
+    with ProcessPoolExecutor(max_workers=report.workers) as pool:
+        futures = [
+            pool.submit(
+                run_worker,
+                target,
+                claim_names,
+                f"w{i}.{fleet}",
+                use_cache=use_cache,
+                solver_servers=solver_servers,
+                stale_after=stale_after,
+                replan_every=replan_every,
+                fifo_every=fifo_every,
+                token=token,
+            )
+            for i in range(report.workers)
+        ]
+        for future in futures:
+            report.merge(future.result())
+
+
+def run_workers(
+    target,
+    experiments: Sequence[str] | None = None,
+    *,
+    workers: int = 2,
+    stale_after: float = 600.0,
+    use_cache: bool = True,
+    solver_servers: int = 0,
+    replan_every: int = DEFAULT_REPLAN_EVERY,
+    fifo_every: int | None = None,
+    token: str | None = None,
+) -> RunReport:
+    """Attach to an existing store and drain its pending rows with workers.
+
+    The fleet half of :func:`run_pool`, behind ``repro orch worker``: no
+    grid expansion and no planning — the store was seeded and planned where
+    the file lives (``repro orch run`` / ``repro orch plan``), and this
+    invocation only contributes claim loops.  ``target`` is a local path
+    or, for remote fleets, the ``tcp://host:port`` of a ``repro orch
+    serve`` process.  Stale rows in scope are reclaimed first (the resume
+    path after a worker machine dies), and online re-planning stays on by
+    default: the store's priorities keep refitting as this fleet's
+    durations land, exactly as in a local run.
+    """
+    start = time.perf_counter()
+    names = [registry.get_spec(name).name for name in experiments] if experiments else None
+    report = RunReport(workers=max(1, int(workers)))
+    with _open_store(target, fifo_every=fifo_every, token=token) as store:
+        claim_names = _claim_scope(store, names)
+        report.reclaimed = store.reclaim_stale(
+            older_than=stale_after, experiments=claim_names
+        )
+        pending = store.pending_count(claim_names)
+    if pending > 0:
+        _drain(
+            target,
+            claim_names,
+            report,
+            use_cache=use_cache,
+            solver_servers=solver_servers,
+            stale_after=stale_after,
+            replan_every=replan_every,
+            fifo_every=fifo_every,
+            token=token,
+        )
+    report.wall_time = time.perf_counter() - start
     return report
 
 
@@ -308,6 +479,13 @@ def run_pool(
     from .planner import plan as plan_grids
 
     db_path = str(db_path)
+    if _is_remote(db_path):
+        # Passing a tcp:// target to Path() would silently create a local
+        # "tcp:" directory and drain a brand-new empty store.
+        raise ValueError(
+            "run_pool seeds and plans a local store; attach to a served "
+            "store with run_workers() / `repro orch worker --connect`"
+        )
     start = time.perf_counter()
     names = [registry.get_spec(name).name for name in experiments] if experiments else None
     if do_populate is None:
@@ -336,59 +514,24 @@ def run_pool(
             )
             report.hoisted = len(plan_report.hoisted)
             report.dependency_edges = plan_report.edges
-        if names is not None:
-            # Workers must be able to claim the prerequisite rows their
-            # cells are gated on — including with plan=False, whose contract
-            # is "FIFO claiming, no new planning": edges already in the
-            # store still apply, so stranding their prereq rows outside the
-            # claim scope would leave gated cells pending forever while the
-            # run exits 0.  Unfinished prereq rows of *earlier* plans are
-            # picked up too — finishing them only warms the cache their
-            # dependents are waiting for.  "running" counts: an orphaned
-            # prereq claimed by a dead worker must fall inside the reclaim
-            # and claim scope or its dependents would wait on it forever.
-            prereq_counts = store.status_counts().get(PREREQ_EXPERIMENT, {})
-            unfinished_prereqs = prereq_counts.get("pending", 0) + prereq_counts.get(
-                "running", 0
-            )
-            if PREREQ_EXPERIMENT not in names and unfinished_prereqs:
-                claim_names = names + [PREREQ_EXPERIMENT]
+        # Unfinished prereq rows of *earlier* plans are picked up too —
+        # finishing them only warms the cache their dependents are
+        # waiting for (see _claim_scope).
+        claim_names = _claim_scope(store, claim_names)
         report.reclaimed = store.reclaim_stale(
             older_than=stale_after, experiments=claim_names
         )
         pending = store.pending_count(claim_names)
     if pending > 0:
-        pid = os.getpid()
-        if report.workers == 1:
-            report.merge(
-                run_worker(
-                    db_path,
-                    claim_names,
-                    f"w0.{pid}",
-                    use_cache=use_cache,
-                    solver_servers=solver_servers,
-                    stale_after=stale_after,
-                    replan_every=replan_every,
-                    fifo_every=fifo_every,
-                )
-            )
-        else:
-            with ProcessPoolExecutor(max_workers=report.workers) as pool:
-                futures = [
-                    pool.submit(
-                        run_worker,
-                        db_path,
-                        claim_names,
-                        f"w{i}.{pid}",
-                        use_cache=use_cache,
-                        solver_servers=solver_servers,
-                        stale_after=stale_after,
-                        replan_every=replan_every,
-                        fifo_every=fifo_every,
-                    )
-                    for i in range(report.workers)
-                ]
-                for future in futures:
-                    report.merge(future.result())
+        _drain(
+            db_path,
+            claim_names,
+            report,
+            use_cache=use_cache,
+            solver_servers=solver_servers,
+            stale_after=stale_after,
+            replan_every=replan_every,
+            fifo_every=fifo_every,
+        )
     report.wall_time = time.perf_counter() - start
     return report

@@ -45,9 +45,12 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
-from .store import ExperimentStore, params_hash
+from .store import params_hash
+
+if TYPE_CHECKING:  # the extracted store surface; local and remote stores both satisfy it
+    from ..distributed.protocol import StoreProtocol
 
 __all__ = [
     "DEFAULT_COST",
@@ -95,7 +98,7 @@ class CostModel:
     @classmethod
     def fit(
         cls,
-        store: ExperimentStore,
+        store: "StoreProtocol",
         experiments: Sequence[str] | None = None,
         *,
         use_priors: bool = True,
@@ -216,7 +219,7 @@ class CostModel:
 
     def refit(
         self,
-        store: ExperimentStore,
+        store: "StoreProtocol",
         experiments: Sequence[str] | None = None,
         *,
         since: tuple[float, int] | None = None,
@@ -354,7 +357,7 @@ def _spec_hint(experiment: str, params: Mapping[str, Any]) -> float | None:
 
 
 def plan_priorities(
-    store: ExperimentStore,
+    store: "StoreProtocol",
     experiments: Sequence[str] | None = None,
     *,
     model: CostModel | None = None,
@@ -378,7 +381,7 @@ def plan_priorities(
 
 
 def priority_entries(
-    store: ExperimentStore,
+    store: "StoreProtocol",
     experiments: Sequence[str] | None,
     model: CostModel,
 ) -> tuple[list[tuple[str, str, float, float | None]], dict[str, float]]:
