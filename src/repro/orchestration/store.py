@@ -10,8 +10,11 @@ A *store* is a single SQLite file (WAL mode) holding four tables:
     plus a status-guarded UPDATE), so any number of worker processes on one
     host never double-run a cell.  Sharing the file *across machines* (NFS &
     co.) is NOT safe: WAL mode relies on shared memory, which network
-    filesystems don't provide — multi-machine operation needs a server-backed
-    store (see the ROADMAP).
+    filesystems don't provide — multi-machine operation goes through
+    :mod:`repro.distributed` instead: ``repro orch serve`` owns the file and
+    serves this class's public surface
+    (:class:`~repro.distributed.protocol.StoreProtocol`) to remote workers
+    over TCP.
 
     Scheduling columns (added by PR 3/4, migrated in-place on open):
 
@@ -208,6 +211,7 @@ class ExperimentStore:
         *,
         timeout: float = 30.0,
         fifo_every: int = 4,
+        check_same_thread: bool = True,
     ) -> None:
         self.path = Path(path)
         if self.path.parent and not self.path.parent.exists():
@@ -218,7 +222,16 @@ class ExperimentStore:
         self.fifo_every = max(0, int(fifo_every))
         # isolation_level=None -> autocommit; transactions are explicit
         # (BEGIN IMMEDIATE) exactly where atomicity matters.
-        self._conn = sqlite3.connect(self.path, timeout=timeout, isolation_level=None)
+        # check_same_thread=False is for owners that serialize access
+        # themselves (the distributed store server dispatches handler
+        # threads under one lock); the connection itself is never safe for
+        # genuinely concurrent cross-thread use.
+        self._conn = sqlite3.connect(
+            self.path,
+            timeout=timeout,
+            isolation_level=None,
+            check_same_thread=check_same_thread,
+        )
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
