@@ -1,0 +1,336 @@
+"""Benchmark: inline vs pooled vs remote solver fabric on an E7 MILP batch.
+
+Builds ``--num-milps`` independent configuration MILPs (the same models
+``bench_solver_pool`` uses: clustered-size E7 cells, eps = 1/4) and drains
+the batch three ways —
+
+* **inline**: sequentially through the solver service in this process,
+* **pooled**: one ``solve_many`` batch over a local subprocess pool, and
+* **fabric**: through :class:`repro.solver.SolverFabric` against K real
+  ``repro orch solver-serve`` endpoint *processes* (spawned here, or
+  external ones via ``--connect``), for every K from 1 to ``--endpoints`` —
+
+verifies all objective vectors are byte-identical, and writes the
+wall-clock curve plus fabric routing stats to ``BENCH_solver_fabric.json``.
+
+``--kill-one`` additionally SIGKILLs one spawned endpoint mid-drain on the
+largest-K fabric run to exercise work-stealing under fire: the batch must
+still finish with identical objectives, and the artifact records the steal
+and endpoint-failure counts.
+
+Speedup is bounded by the machine: a host with fewer cores than total
+solver servers cannot show the parallelism (the artifact carries a loud
+``UNDERPOWERED_HOST`` flag — the real curve comes from multi-core CI).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_solver_fabric.py [--endpoints 2]
+        [--servers-per-endpoint 1] [--num-milps 8] [--kill-one]
+        [--connect HOST:PORT[,HOST:PORT...]] [--output BENCH_solver_fabric.json]
+
+Also importable: ``run_benchmark()`` returns the result dict (used by the
+pytest smoke test at the bottom and by CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from bench_solver_pool import build_milp_batch
+
+from repro.solver import SolveRequest, SolverFabric, SolverPool, SolverService
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_solver_fabric.json"
+
+_SERVE_SCRIPT = """
+import sys
+from repro.solver.fabric import SolverFabricServer
+server = SolverFabricServer(port=0, servers=int(sys.argv[1]))
+print(f"URL={server.url}", flush=True)
+server.serve_forever()
+"""
+
+
+def spawn_endpoint(servers: int) -> tuple[subprocess.Popen, str]:
+    """Start one solver-serve process; returns (process, tcp://host:port)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-c", _SERVE_SCRIPT, str(servers)],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    if not line.startswith("URL="):
+        process.kill()
+        raise RuntimeError(f"solver endpoint failed to start: {line!r}")
+    return process, line.strip().split("=", 1)[1]
+
+
+def _drain_fabric(
+    connect: list[str],
+    requests: list[SolveRequest],
+    *,
+    kill_process: subprocess.Popen | None = None,
+    kill_after_s: float = 0.5,
+) -> dict[str, Any]:
+    with SolverFabric(connect) as fabric:
+        started = time.perf_counter()
+        if kill_process is None:
+            solutions = fabric.solve_many(requests)
+        else:
+            futures = [
+                fabric.submit(
+                    request.model,
+                    spec=request.spec,
+                    time_limit=request.time_limit,
+                    mip_rel_gap=request.mip_rel_gap,
+                )
+                for request in requests
+            ]
+            time.sleep(kill_after_s)
+            kill_process.kill()
+            solutions = [future.result() for future in futures]
+        wall = time.perf_counter() - started
+        stats = fabric.stats()
+        endpoint_stats = fabric.endpoint_stats()
+    return {
+        "wall_time_s": wall,
+        "objectives": [round(s.objective, 9) for s in solutions],
+        "fabric_stats": {
+            "submitted": stats.submitted,
+            "completed": stats.completed,
+            "dispatched": stats.dispatched,
+            "cache_hits": stats.cache_hits,
+            "steals": stats.steals,
+            "duplicates_dropped": stats.duplicates_dropped,
+            "endpoint_failures": stats.endpoint_failures,
+        },
+        "endpoints": endpoint_stats,
+    }
+
+
+def run_benchmark(
+    *,
+    num_milps: int = 8,
+    endpoints: int = 2,
+    servers_per_endpoint: int = 1,
+    pool_servers: int | None = None,
+    connect: list[str] | None = None,
+    kill_one: bool = False,
+    kill_after_s: float = 0.5,
+    eps: float = 0.25,
+    num_jobs: int = 18,
+) -> dict[str, Any]:
+    models = build_milp_batch(num_milps, eps=eps, num_jobs=num_jobs)
+    # Distinct SolveRequest lists per drain: the fabric memoises by content
+    # hash within one client, but separate clients/services never share
+    # state, so every mode below genuinely solves the full batch.
+    requests = [SolveRequest(model=model) for model in models]
+    pool_servers = pool_servers or endpoints * servers_per_endpoint
+    cpu_count = os.cpu_count() or 1
+
+    inline_service = SolverService()
+    started = time.perf_counter()
+    inline_solutions = inline_service.solve_many(requests)
+    inline_wall = time.perf_counter() - started
+    inline_objectives = [round(s.objective, 9) for s in inline_solutions]
+
+    with SolverPool(pool_servers) as pool:
+        pooled_service = SolverService(pool)
+        started = time.perf_counter()
+        pooled_solutions = pooled_service.solve_many(requests)
+        pooled_wall = time.perf_counter() - started
+    pooled_objectives = [round(s.objective, 9) for s in pooled_solutions]
+
+    fabric_runs: list[dict[str, Any]] = []
+    chaos_run: dict[str, Any] | None = None
+    if connect:
+        fabric_runs.append(
+            {"endpoints_used": len(connect), "external": True}
+            | _drain_fabric(list(connect), requests)
+        )
+    else:
+        processes: list[subprocess.Popen] = []
+        urls: list[str] = []
+        try:
+            for _ in range(endpoints):
+                process, url = spawn_endpoint(servers_per_endpoint)
+                processes.append(process)
+                urls.append(url)
+            for k in range(1, endpoints + 1):
+                fabric_runs.append(
+                    {"endpoints_used": k, "external": False}
+                    | _drain_fabric(urls[:k], requests)
+                )
+            if kill_one and endpoints >= 2:
+                chaos_run = _drain_fabric(
+                    urls,
+                    requests,
+                    kill_process=processes[0],
+                    kill_after_s=kill_after_s,
+                )
+        finally:
+            for process in processes:
+                if process.poll() is None:
+                    process.kill()
+                process.wait(timeout=30)
+
+    # Futures are gathered in submit order, so even the kill-one drain must
+    # reproduce the inline objective vector exactly — order included.
+    objective_vectors = (
+        [pooled_objectives]
+        + [run["objectives"] for run in fabric_runs]
+        + ([chaos_run["objectives"]] if chaos_run else [])
+    )
+    objectives_identical = all(
+        vector == inline_objectives for vector in objective_vectors
+    )
+
+    total_servers = max(
+        pool_servers,
+        max((run["endpoints_used"] for run in fabric_runs), default=0)
+        * servers_per_endpoint,
+    )
+    best_fabric = min(fabric_runs, key=lambda run: run["wall_time_s"], default=None) if fabric_runs else None
+    return {
+        "benchmark": "solver_fabric",
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": cpu_count,
+        "UNDERPOWERED_HOST": cpu_count < total_servers,
+        "num_milps": num_milps,
+        "servers_per_endpoint": servers_per_endpoint,
+        "pool_servers": pool_servers,
+        "eps": eps,
+        "num_jobs": num_jobs,
+        "model_sizes": [model.summary() for model in models],
+        "inline": {"wall_time_s": inline_wall},
+        "pooled": {
+            "wall_time_s": pooled_wall,
+            "speedup_vs_inline": inline_wall / pooled_wall if pooled_wall > 0 else None,
+        },
+        "fabric": [
+            run
+            | {
+                "speedup_vs_inline": (
+                    inline_wall / run["wall_time_s"] if run["wall_time_s"] > 0 else None
+                )
+            }
+            for run in fabric_runs
+        ],
+        "fabric_kill_one": chaos_run,
+        "best_fabric_speedup": (
+            inline_wall / best_fabric["wall_time_s"]
+            if best_fabric and best_fabric["wall_time_s"] > 0
+            else None
+        ),
+        "objectives": inline_objectives,
+        "objectives_identical": objectives_identical,
+        "note": (
+            "speedup is bounded above by min(total solver servers, cpu_count); "
+            "an UNDERPOWERED_HOST artifact is a wiring check, not a measurement"
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-milps", type=int, default=8)
+    parser.add_argument("--endpoints", type=int, default=2)
+    parser.add_argument("--servers-per-endpoint", type=int, default=1)
+    parser.add_argument("--pool-servers", type=int, default=None)
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="benchmark against external solver-serve endpoints instead of "
+        "spawning local ones (disables the K-curve and --kill-one)",
+    )
+    parser.add_argument(
+        "--kill-one",
+        action="store_true",
+        help="SIGKILL one spawned endpoint mid-drain and require the batch "
+        "to finish via work-stealing",
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="delay between submitting the batch and the --kill-one SIGKILL "
+        "(0 kills as soon as routing has spread the batch)",
+    )
+    parser.add_argument("--eps", type=float, default=0.25)
+    parser.add_argument("--num-jobs", type=int, default=18)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(
+        num_milps=args.num_milps,
+        endpoints=args.endpoints,
+        servers_per_endpoint=args.servers_per_endpoint,
+        pool_servers=args.pool_servers,
+        connect=args.connect.split(",") if args.connect else None,
+        kill_one=args.kill_one,
+        kill_after_s=args.kill_after,
+        eps=args.eps,
+        num_jobs=args.num_jobs,
+    )
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    if result["UNDERPOWERED_HOST"]:
+        print(
+            f"UNDERPOWERED_HOST: {result['cpu_count']} cpu(s) cannot parallelise "
+            "the configured solver servers — curve is a wiring check only"
+        )
+    print(f"inline {result['inline']['wall_time_s']:.3f}s")
+    print(
+        f"pooled({result['pool_servers']}) {result['pooled']['wall_time_s']:.3f}s "
+        f"-> {result['pooled']['speedup_vs_inline']:.2f}x"
+    )
+    for run in result["fabric"]:
+        print(
+            f"fabric({run['endpoints_used']} endpoint(s)) {run['wall_time_s']:.3f}s "
+            f"-> {run['speedup_vs_inline']:.2f}x "
+            f"(steals {run['fabric_stats']['steals']})"
+        )
+    if result["fabric_kill_one"]:
+        chaos = result["fabric_kill_one"]
+        print(
+            f"fabric kill-one {chaos['wall_time_s']:.3f}s, "
+            f"steals {chaos['fabric_stats']['steals']}, "
+            f"endpoint failures {chaos['fabric_stats']['endpoint_failures']}"
+        )
+    print(f"objectives identical: {result['objectives_identical']}")
+    print(f"wrote {args.output}")
+    return 0 if result["objectives_identical"] else 1
+
+
+def test_solver_fabric_benchmark_smoke(tmp_path):
+    """Tiny smoke variant for the benchmark harness / CI."""
+    # Kill immediately after submit: least-loaded routing has already spread
+    # the batch, so the killed endpoint is guaranteed to be holding work.
+    result = run_benchmark(
+        num_milps=4, endpoints=2, num_jobs=12, kill_one=True, kill_after_s=0.0
+    )
+    assert result["objectives_identical"]
+    assert [run["endpoints_used"] for run in result["fabric"]] == [1, 2]
+    for run in result["fabric"]:
+        assert run["fabric_stats"]["completed"] == 4
+    chaos = result["fabric_kill_one"]
+    assert chaos is not None
+    assert chaos["fabric_stats"]["endpoint_failures"] >= 1
+    (tmp_path / "bench.json").write_text(json.dumps(result))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

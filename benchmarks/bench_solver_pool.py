@@ -93,10 +93,14 @@ def run_benchmark(
 
     inline_objectives = [round(s.objective, 9) for s in inline_solutions]
     pooled_objectives = [round(s.objective, 9) for s in pooled_solutions]
+    cpu_count = os.cpu_count() or 1
     return {
         "benchmark": "solver_pool",
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        # Loud flag so nobody reads a ~1x speedup from a host that cannot
+        # physically run the servers in parallel as a regression.
+        "UNDERPOWERED_HOST": cpu_count < servers,
         "num_milps": num_milps,
         "servers": servers,
         "eps": eps,
@@ -143,6 +147,11 @@ def main(argv: list[str] | None = None) -> int:
         num_jobs=args.num_jobs,
     )
     args.output.write_text(json.dumps(result, indent=2) + "\n")
+    if result["UNDERPOWERED_HOST"]:
+        print(
+            f"UNDERPOWERED_HOST: {result['cpu_count']} cpu(s) < {args.servers} "
+            "servers — pooled speedup is not meaningful on this machine"
+        )
     print(
         f"inline {result['inline']['wall_time_s']:.3f}s vs pooled({args.servers}) "
         f"{result['pooled']['wall_time_s']:.3f}s -> speedup {result['speedup']:.2f}x "

@@ -133,6 +133,20 @@ def build_parser() -> argparse.ArgumentParser:
         "cells then overlap independent MILPs on the shared pool",
     )
     orch_run.add_argument(
+        "--solver-connect",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="route MILP solves to remote `repro orch solver-serve` "
+        "endpoints instead of a local pool (mutually exclusive with "
+        "--solver-servers)",
+    )
+    orch_run.add_argument(
+        "--solver-token",
+        default=None,
+        help="shared secret of the solver endpoints "
+        "(default: $REPRO_ORCH_TOKEN)",
+    )
+    orch_run.add_argument(
         "--no-populate",
         action="store_true",
         help="only drain rows already in the store (skip grid expansion)",
@@ -218,6 +232,40 @@ def build_parser() -> argparse.ArgumentParser:
         "all remote workers)",
     )
 
+    orch_solver_serve = orch_sub.add_parser(
+        "solver-serve",
+        help="serve this machine's cores as MILP solver capacity: N "
+        "subprocess solver servers behind one TCP socket, for workers "
+        "anywhere to reach via --solver-connect",
+    )
+    orch_solver_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: loopback only; pass 0.0.0.0 to "
+        "accept remote workers — set a --token when you do)",
+    )
+    orch_solver_serve.add_argument(
+        "--port",
+        type=int,
+        # Mirrors repro.solver.fabric.DEFAULT_SOLVER_PORT; literal here so
+        # building the parser never imports the solver stack.
+        default=7480,
+        help="TCP port (default: 7480; 0 = ephemeral, printed on startup)",
+    )
+    orch_solver_serve.add_argument(
+        "--token",
+        default=None,
+        help="shared secret required on every request "
+        "(default: $REPRO_ORCH_TOKEN; unset = no auth)",
+    )
+    orch_solver_serve.add_argument(
+        "--servers",
+        type=int,
+        default=0,
+        help="subprocess solver servers behind the socket "
+        "(default: 0 = one per CPU core)",
+    )
+
     orch_worker = orch_sub.add_parser(
         "worker",
         help="attach to a `repro orch serve` store and drain pending rows "
@@ -256,6 +304,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="subprocess solver servers per worker (0 = solve MILPs inline)",
+    )
+    orch_worker.add_argument(
+        "--solver-connect",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="route MILP solves to remote `repro orch solver-serve` "
+        "endpoints instead of a local pool (mutually exclusive with "
+        "--solver-servers); auth uses the same --token as the store",
     )
     worker_replan = orch_worker.add_mutually_exclusive_group()
     worker_replan.add_argument(
@@ -538,10 +594,26 @@ def _resolve_replan_every(args: argparse.Namespace) -> int:
     return DEFAULT_REPLAN_EVERY
 
 
+def _resolve_solver_connect(args: argparse.Namespace) -> str | None:
+    """Validate the local-pool vs fabric choice; returns the connect string."""
+    solver_connect = getattr(args, "solver_connect", None)
+    if solver_connect and args.solver_servers:
+        # Mirrors run_pool's tcp:// guard: an ambiguous topology must fail
+        # loudly, not silently pick one interpretation.
+        raise SystemExit(
+            "error: --solver-servers and --solver-connect are mutually "
+            "exclusive — a worker solves on its local pool or on the remote "
+            "fabric, not both (run `repro orch solver-serve` on this machine "
+            "and list it in --solver-connect to combine them)"
+        )
+    return solver_connect
+
+
 def _cmd_orch_run(args: argparse.Namespace) -> int:
     from .orchestration import registry, run_pool
 
     names = _resolve_spec_names(args.experiments)
+    solver_connect = _resolve_solver_connect(args)
     if args.workers > 1:
         timed = [name for name in names if registry.get_spec(name).timing_sensitive]
         if timed:
@@ -564,6 +636,8 @@ def _cmd_orch_run(args: argparse.Namespace) -> int:
         stale_after=args.stale_after,
         use_cache=not args.no_cache,
         solver_servers=args.solver_servers,
+        solver_connect=solver_connect,
+        solver_token=args.solver_token or _orch_token(args),
         plan=not args.no_plan,
         replan_every=replan_every,
         fifo_every=args.fifo_every,
@@ -642,10 +716,49 @@ def _cmd_orch_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_orch_solver_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .solver.fabric import SolverFabricServer
+
+    token = _orch_token(args)
+    if token is None and args.host not in ("127.0.0.1", "localhost", "::1"):
+        print(
+            "warning: serving a non-loopback interface without --token — "
+            "any network peer can submit solves to this machine",
+            file=sys.stderr,
+        )
+    server = SolverFabricServer(
+        host=args.host,
+        port=args.port,
+        token=token,
+        servers=args.servers or None,
+    )
+    print(
+        f"serving {server.num_solver_servers} solver servers on {server.url}"
+        + (" (token auth)" if token else " (no auth)"),
+        flush=True,
+    )
+
+    def _stop(signum: int, frame: object) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        print("solver server stopped", flush=True)
+    return 0
+
+
 def _cmd_orch_worker(args: argparse.Namespace) -> int:
     from .orchestration import run_workers
 
     names = _resolve_spec_names(args.experiments) if args.experiments else None
+    solver_connect = _resolve_solver_connect(args)
     if args.fifo_every is not None and args.fifo_every < 0:
         raise SystemExit("error: --fifo-every must be >= 0 (0 = pure priority order)")
     report = run_workers(
@@ -655,6 +768,7 @@ def _cmd_orch_worker(args: argparse.Namespace) -> int:
         stale_after=args.stale_after,
         use_cache=not args.no_cache,
         solver_servers=args.solver_servers,
+        solver_connect=solver_connect,
         replan_every=_resolve_replan_every(args),
         fifo_every=args.fifo_every,
         token=_orch_token(args),
@@ -724,12 +838,21 @@ def _cmd_orch_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_orch_status(args: argparse.Namespace) -> int:
+    from .orchestration.export import aggregate_solver_telemetry, format_solver_telemetry
+
     with _open_cli_store(args) as store:
         counts = store.status_counts()
         cache = store.cache_stats()
         completions = store.completion_count()
         epoch = store.replan_epoch()
         priors = len(store.load_cost_priors())
+        done_rows = [
+            row
+            for experiment in sorted(counts)
+            if counts[experiment].get("done", 0)
+            for row in store.fetch_rows(experiment, status="done")
+        ]
+    solver_totals = aggregate_solver_telemetry(done_rows)
     table = ExperimentTable("orch", f"store status ({_store_label(args)})")
     for experiment in sorted(counts):
         per_status = counts[experiment]
@@ -747,6 +870,8 @@ def _cmd_orch_status(args: argparse.Namespace) -> int:
         f"scheduler: {completions} completions, re-plan epoch {epoch}, "
         f"priors for {priors} experiments"
     )
+    if solver_totals:
+        table.add_note(format_solver_telemetry(solver_totals))
     print(table.to_text())
     return 0
 
@@ -861,6 +986,7 @@ def _cmd_orch_export(args: argparse.Namespace) -> int:
 _ORCH_HANDLERS = {
     "run": _cmd_orch_run,
     "serve": _cmd_orch_serve,
+    "solver-serve": _cmd_orch_solver_serve,
     "worker": _cmd_orch_worker,
     "plan": _cmd_orch_plan,
     "status": _cmd_orch_status,
@@ -872,12 +998,13 @@ _ORCH_HANDLERS = {
 
 def _cmd_orch(args: argparse.Namespace) -> int:
     from .distributed.protocol import ProtocolError
+    from .solver.pool import SolverPoolError
 
     try:
         return _ORCH_HANDLERS[args.orch_command](args)
-    except ProtocolError as exc:
-        # Connection refused, auth rejected, server-side store errors: a
-        # one-line diagnosis, not a traceback.
+    except (ProtocolError, SolverPoolError) as exc:
+        # Connection refused, auth rejected, server-side store errors, dead
+        # solver endpoints: a one-line diagnosis, not a traceback.
         raise SystemExit(f"error: {exc}") from exc
 
 

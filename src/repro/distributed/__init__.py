@@ -28,6 +28,7 @@ worker runs the full cost-model / re-planning / bounded-wait claim loop of
 from .client import RemoteStore, StoreConnectionError
 from .protocol import (
     DEFAULT_PORT,
+    AuthError,
     ConnectionClosed,
     FrameError,
     ProtocolError,
@@ -41,6 +42,7 @@ from .server import StoreServer
 
 __all__ = [
     "DEFAULT_PORT",
+    "AuthError",
     "ConnectionClosed",
     "FrameError",
     "ProtocolError",

@@ -47,6 +47,7 @@ from .protocol import (
     parse_address,
     recv_frame,
 )
+from .rpc import knock, raise_reply_error
 
 __all__ = ["RemoteStore", "StoreConnectionError"]
 
@@ -114,35 +115,23 @@ class RemoteStore:
     # Transport
     # ------------------------------------------------------------------
     def _connect(self) -> socket.socket:
-        deadline = time.monotonic() + self._connect_timeout
-        delay = self._retry_delay
-        while True:
-            try:
-                # Cap each attempt at the remaining knocking deadline too:
-                # a black-holed address (firewall DROP) would otherwise sit
-                # in one connect for the full request timeout.
-                sock = socket.create_connection(
-                    (self.host, self.port),
-                    timeout=min(
-                        self._timeout, max(0.1, deadline - time.monotonic())
-                    ),
-                )
-            except OSError as exc:
-                # Keep knocking until the deadline: a server mid-restart (or
-                # a CI job that just forked `repro orch serve`) comes up
-                # within moments, and waiting here is what lets every
-                # worker simply outlive it.
-                if time.monotonic() >= deadline:
-                    raise StoreConnectionError(
-                        f"cannot connect to store server at {self.host}:{self.port}: {exc}"
-                    ) from exc
-                time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
-                delay = min(delay * 2, 2.0)
-            else:
-                sock.settimeout(self._timeout)  # request timeout from here on
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                self._sock = sock
-                return sock
+        # Keep knocking until the deadline (rpc.knock): a server mid-restart
+        # comes up within moments, and waiting here is what lets every
+        # worker simply outlive it.
+        try:
+            sock = knock(
+                self.host,
+                self.port,
+                timeout=self._timeout,
+                connect_timeout=self._connect_timeout,
+                retry_delay=self._retry_delay,
+            )
+        except OSError as exc:
+            raise StoreConnectionError(
+                f"cannot connect to store server at {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._sock = sock
+        return sock
 
     def _disconnect(self) -> None:
         if self._sock is not None:
@@ -210,9 +199,7 @@ class RemoteStore:
                     raise StoreConnectionError(
                         f"store server at {self.host}:{self.port} is shutting down"
                     ) from last_exc
-                raise RemoteOperationError(
-                    str(error.get("type", "Error")), str(error.get("message", ""))
-                )
+                raise_reply_error(error)
             return reply.get("result")
         raise StoreConnectionError(str(last_exc))  # pragma: no cover - unreachable
 

@@ -45,6 +45,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "AddressError",
+    "AuthError",
     "ConnectionClosed",
     "FrameError",
     "ProtocolError",
@@ -101,10 +102,28 @@ class RemoteOperationError(ProtocolError):
     branch on without the server shipping picklable exception objects.
     """
 
-    def __init__(self, error_type: str, message: str) -> None:
+    def __init__(
+        self, error_type: str, message: str, data: Mapping[str, Any] | None = None
+    ) -> None:
         super().__init__(f"{error_type}: {message}")
         self.type = error_type
         self.message = message
+        # Optional structured payload a server attached to the error reply
+        # (e.g. the measured wall time of a solve killed by its deadline).
+        self.data: dict[str, Any] = dict(data) if data else {}
+
+
+class AuthError(RemoteOperationError):
+    """The server rejected the request's shared token.
+
+    A :class:`RemoteOperationError` whose ``type`` is always ``AuthError``,
+    raised as its own class so callers can catch a credential problem
+    without string-matching — and so the clients can refuse to retry it (a
+    wrong token must never become a reconnect storm).
+    """
+
+    def __init__(self, message: str = "missing or invalid token") -> None:
+        super().__init__("AuthError", message)
 
 
 def encode_frame(payload: Mapping[str, Any]) -> bytes:

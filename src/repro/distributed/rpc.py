@@ -1,0 +1,442 @@
+"""Shared RPC machinery for every framed-JSON TCP service in the repo.
+
+The store server (PR 5) and the solver fabric servers speak the same wire
+dialect — length-prefixed JSON frames, per-request token auth, structured
+error replies, op-id replay for safe client retries — so the transport
+skeleton lives here once and :class:`~repro.distributed.server.StoreServer`
+and :class:`repro.solver.fabric.SolverFabricServer` subclass it.
+
+:class:`RpcServer` owns the threaded TCP listener, the per-connection
+handler loop, graceful shutdown (stop accepting, unblock the accept loop,
+drop live handler sockets so blocked clients reconnect instead of hanging),
+and the request → reply dispatch pipeline: token check, method allowlist,
+op-id replay, structured errors.  Subclasses provide :meth:`_invoke` and
+choose a dispatch policy:
+
+* ``serialize_dispatch = True`` (the store): *every* request executes under
+  one lock — the single writer SQLite requires anyway, and what makes the
+  op-replay check atomic with execution.
+* ``serialize_dispatch = False`` (the solver fabric): requests execute
+  concurrently (a solve blocks its handler thread for seconds); only op
+  bookkeeping takes the lock.  An op id that is *in flight* — a client
+  resent a solve whose reply was lost while the original is still running —
+  parks the retry until the original finishes and then replays its recorded
+  reply, so one op never executes twice on the same server.
+
+The client-side helpers (:func:`knock`, :func:`raise_reply_error`) are the
+pieces :class:`~repro.distributed.client.RemoteStore` and the fabric client
+share: patient initial connects (a server mid-restart comes up within
+moments) and uniform error-reply raising (``AuthError`` gets its own class
+so callers can refuse to retry it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hmac
+import socket
+import socketserver
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Mapping, NoReturn
+
+from .protocol import (
+    AuthError,
+    ConnectionClosed,
+    FrameError,
+    RemoteOperationError,
+    format_address,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "OP_CACHE_SIZE",
+    "RpcServer",
+    "knock",
+    "raise_reply_error",
+]
+
+# Replies remembered for op-id replay.  Sized for hundreds of workers each
+# with a handful of retryable calls in flight; FIFO eviction means an op
+# is forgotten only after thousands of newer ops — far beyond any client's
+# retry window.
+OP_CACHE_SIZE = 4096
+
+
+class _OpCache:
+    """Bounded FIFO map of executed op ids to their recorded replies."""
+
+    def __init__(self, size: int = OP_CACHE_SIZE) -> None:
+        self._size = size
+        self._replies: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def get(self, op_id: str) -> dict[str, Any] | None:
+        return self._replies.get(op_id)
+
+    def put(self, op_id: str, reply: dict[str, Any]) -> None:
+        self._replies[op_id] = reply
+        while len(self._replies) > self._size:
+            self._replies.popitem(last=False)
+
+
+def encode_result(value: Any) -> Any:
+    """JSON-shape a dispatch result (dataclasses → dicts, tuples → lists)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return encode_result(dataclasses.asdict(value))
+    if isinstance(value, (list, tuple)):
+        return [encode_result(item) for item in value]
+    if isinstance(value, dict):
+        return {key: encode_result(item) for key, item in value.items()}
+    return value
+
+
+def error_reply(
+    request_id: Any,
+    error_type: str,
+    message: str,
+    data: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    reply: dict[str, Any] = {
+        "id": request_id,
+        "error": {"type": error_type, "message": message},
+    }
+    if data:
+        reply["error"]["data"] = dict(data)
+    return reply
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """Per-connection loop: read a frame, dispatch, reply, repeat."""
+
+    def setup(self) -> None:
+        self.server.owner._track(self.request)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:
+        self.server.owner._untrack(self.request)  # type: ignore[attr-defined]
+
+    def handle(self) -> None:
+        while True:
+            try:
+                request = recv_frame(self.request)
+            except (ConnectionClosed, FrameError, OSError):
+                return  # peer gone or speaking garbage: drop the connection
+            reply = self.server.owner.dispatch(request)  # type: ignore[attr-defined]
+            try:
+                send_frame(self.request, reply)
+            except OSError:
+                return
+            except (FrameError, TypeError, ValueError) as exc:
+                # The reply itself cannot be framed (result over the frame
+                # ceiling, or not JSON-serializable): fail the one call with
+                # a structured error instead of dying with no reply — the
+                # client would otherwise retry the same request into the
+                # same wall and misreport it as a network failure.
+                try:
+                    send_frame(
+                        self.request,
+                        error_reply(request.get("id"), "ReplyError", str(exc)),
+                    )
+                except OSError:
+                    return
+            if reply.get("error", {}).get("type") == "AuthError":
+                return  # no second guesses on a shared-token mismatch
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    owner: "RpcServer"
+
+
+class _TCP6Server(_TCPServer):
+    address_family = socket.AF_INET6
+
+
+def _server_class(host: str, port: int) -> type[_TCPServer]:
+    """Pick the socket family from the bind host (``::1`` needs AF_INET6)."""
+    try:
+        info = socket.getaddrinfo(host or None, port, type=socket.SOCK_STREAM)
+    except OSError:
+        return _TCPServer  # let bind() produce the real error
+    if info and info[0][0] == socket.AF_INET6:
+        return _TCP6Server
+    return _TCPServer
+
+
+class RpcServer:
+    """A threaded TCP server speaking the framed request/reply protocol.
+
+    Subclasses set :attr:`rpc_methods` (the allowlist), implement
+    :meth:`_invoke`, release owned resources in :meth:`_on_shutdown`, and
+    pick :attr:`serialize_dispatch` (see module docstring).  The subclass
+    must fully initialise its own state *before* calling ``__init__`` here:
+    binding the port is the last construction step, so a request can arrive
+    as soon as it returns.
+    """
+
+    rpc_methods: frozenset[str] = frozenset()
+    serialize_dispatch: bool = True
+    thread_name: str = "repro-rpc-server"
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: str | None = None,
+    ) -> None:
+        self._token = token
+        self._lock = threading.Lock()
+        self._ops = _OpCache()
+        # Op ids currently executing on the concurrent path: a resent op
+        # waits on its original's event instead of executing a second time.
+        self._inflight_ops: dict[str, threading.Event] = {}
+        self._connections: set[Any] = set()
+        self._conn_lock = threading.Lock()
+        self._serve_thread: threading.Thread | None = None
+        self._serving = threading.Event()
+        self._closed = False
+        self._tcp = _server_class(host, port)((host, port), _Handler)
+        self._tcp.owner = self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolved even when ``port=0`` was asked)."""
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """The ``tcp://host:port`` form clients pass to ``--connect``."""
+        return format_address(*self.address)
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` is called."""
+        self._serving.set()
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "RpcServer":
+        """Serve on a background thread (tests and embedded use)."""
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name=self.thread_name, daemon=True
+            )
+            self._serve_thread.start()
+            # Wait for the accept loop to be entered: a shutdown() racing an
+            # unstarted loop would skip the stop request and leave the
+            # thread serving a closed listener.  (If the loop is entered
+            # with a stop already requested, serve_forever exits at once.)
+            self._serving.wait(timeout=5.0)
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, unblock ``serve_forever``, release resources."""
+        if self._closed:
+            return
+        self._closed = True
+        # BaseServer.shutdown blocks on an event only serve_forever sets, so
+        # it must be skipped when the accept loop was never entered.
+        if self._serving.is_set():
+            self._tcp.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        # Daemon handler threads are not joined by server_close; dropping
+        # their sockets unblocks the recv they sit in, so connected clients
+        # see a closed connection (and reconnect) rather than a half-dead
+        # server that still answers.
+        with self._conn_lock:
+            for sock in list(self._connections):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+        self._tcp.server_close()
+        with self._lock:
+            waiters = list(self._inflight_ops.values())
+            self._inflight_ops.clear()
+        for event in waiters:
+            event.set()
+        # Taking the lock drains any serialized request already mid-dispatch
+        # before the owned resources go away beneath it.
+        with self._lock:
+            self._on_shutdown()
+
+    def _on_shutdown(self) -> None:
+        """Release subclass-owned resources (store, solver pool, ...)."""
+
+    def __enter__(self) -> "RpcServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def _track(self, sock: Any) -> None:
+        with self._conn_lock:
+            self._connections.add(sock)
+
+    def _untrack(self, sock: Any) -> None:
+        with self._conn_lock:
+            self._connections.discard(sock)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        """One request frame → one reply frame (never raises)."""
+        request_id = request.get("id")
+        method = request.get("method")
+        # Compared as UTF-8 bytes: compare_digest refuses non-ASCII *str*
+        # operands, and raising here would kill the handler with no reply.
+        if self._token is not None and not hmac.compare_digest(
+            str(request.get("token") or "").encode(), self._token.encode()
+        ):
+            return error_reply(request_id, "AuthError", "missing or invalid token")
+        if not isinstance(method, str) or method not in self.rpc_methods:
+            return error_reply(request_id, "UnknownMethod", f"unknown method {method!r}")
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            return error_reply(request_id, "BadRequest", "params must be an object")
+        op_id = request.get("op")
+        if self.serialize_dispatch:
+            with self._lock:
+                if self._closed:
+                    return error_reply(
+                        request_id, "ServerClosed", "server is shutting down"
+                    )
+                if op_id is not None:
+                    recorded = self._ops.get(str(op_id))
+                    if recorded is not None:
+                        return {**recorded, "id": request_id, "replayed": True}
+                return self._execute(request_id, method, params, op_id)
+        return self._dispatch_concurrent(request_id, method, params, op_id)
+
+    def _dispatch_concurrent(
+        self, request_id: Any, method: str, params: dict[str, Any], op_id: Any
+    ) -> dict[str, Any]:
+        """Execute outside the lock; dedup concurrent resends of one op."""
+        key = str(op_id) if op_id is not None else None
+        while True:
+            with self._lock:
+                if self._closed:
+                    return error_reply(
+                        request_id, "ServerClosed", "server is shutting down"
+                    )
+                if key is not None:
+                    recorded = self._ops.get(key)
+                    if recorded is not None:
+                        return {**recorded, "id": request_id, "replayed": True}
+                    running = self._inflight_ops.get(key)
+                    if running is None:
+                        self._inflight_ops[key] = threading.Event()
+                    # else: fall through to wait outside the lock
+                else:
+                    running = None
+            if running is None:
+                break
+            # The original request for this op is still executing on another
+            # handler thread: wait for it, then loop to replay its recorded
+            # reply.  (If the original *failed*, nothing was recorded — the
+            # loop re-registers this retry as the new runner, which is the
+            # correct outcome: a failed op committed nothing.)
+            running.wait()
+        try:
+            try:
+                result = encode_result(self._invoke(method, params))
+            except Exception as exc:  # structured reply; connection survives
+                # Errors are deliberately not recorded for replay: a failed
+                # op committed nothing, so re-executing the retry is the
+                # correct (and possibly now-successful) outcome.
+                return error_reply(
+                    request_id, type(exc).__name__, str(exc), data=self._error_data(exc)
+                )
+            if key is not None:
+                with self._lock:
+                    self._ops.put(key, {"result": result})
+            return {"id": request_id, "result": result}
+        finally:
+            if key is not None:
+                with self._lock:
+                    event = self._inflight_ops.pop(key, None)
+                if event is not None:
+                    event.set()
+
+    def _execute(
+        self, request_id: Any, method: str, params: dict[str, Any], op_id: Any
+    ) -> dict[str, Any]:
+        """Serialized-path execution; caller holds the lock."""
+        try:
+            result = encode_result(self._invoke(method, params))
+        except Exception as exc:  # structured reply; connection survives
+            return error_reply(
+                request_id, type(exc).__name__, str(exc), data=self._error_data(exc)
+            )
+        if op_id is not None:
+            self._ops.put(str(op_id), {"result": result})
+        return {"id": request_id, "result": result}
+
+    def _invoke(self, method: str, params: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def _error_data(self, exc: Exception) -> dict[str, Any] | None:
+        """Structured payload to attach to this exception's error reply."""
+        return None
+
+
+# ----------------------------------------------------------------------
+# Client-side helpers
+# ----------------------------------------------------------------------
+def knock(
+    host: str,
+    port: int,
+    *,
+    timeout: float,
+    connect_timeout: float,
+    retry_delay: float = 0.2,
+) -> socket.socket:
+    """Connect to ``host:port``, retrying until ``connect_timeout`` passes.
+
+    A server mid-restart (or a CI job that just forked a server process)
+    comes up within moments, and waiting here is what lets every client
+    simply outlive it.  The returned socket has ``timeout`` installed as
+    its per-operation deadline and TCP_NODELAY set (request/reply traffic).
+    Raises the last ``OSError`` once the knocking deadline passes.
+    """
+    deadline = time.monotonic() + connect_timeout
+    delay = retry_delay
+    while True:
+        try:
+            # Cap each attempt at the remaining knocking deadline too: a
+            # black-holed address (firewall DROP) would otherwise sit in
+            # one connect for the full request timeout.
+            sock = socket.create_connection(
+                (host, port),
+                timeout=min(timeout, max(0.1, deadline - time.monotonic())),
+            )
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(delay * 2, 2.0)
+        else:
+            sock.settimeout(timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+
+
+def raise_reply_error(error: Mapping[str, Any]) -> NoReturn:
+    """Raise the exception for a structured ``error`` reply object.
+
+    ``AuthError`` gets its own class (clients must not retry it); everything
+    else raises :class:`RemoteOperationError` carrying the server-side type
+    name, message, and optional structured data.
+    """
+    error_type = str(error.get("type", "Error"))
+    message = str(error.get("message", ""))
+    if error_type == "AuthError":
+        raise AuthError(message)
+    raise RemoteOperationError(error_type, message, data=error.get("data"))

@@ -5,28 +5,20 @@ network filesystems, so multi-machine fleets need exactly one process with
 file access.  :class:`StoreServer` is that process: it owns a single local
 :class:`~repro.orchestration.store.ExperimentStore` and dispatches framed
 JSON requests (:mod:`repro.distributed.protocol`) from any number of TCP
-clients onto it.  All dispatch happens under one lock — concurrent remote
-claims therefore serialize through the single writer SQLite requires
-anyway, and the store's ``BEGIN IMMEDIATE`` claim semantics hold unchanged.
+clients onto it.  All dispatch happens under one lock
+(``serialize_dispatch``) — concurrent remote claims therefore serialize
+through the single writer SQLite requires anyway, and the store's ``BEGIN
+IMMEDIATE`` claim semantics hold unchanged.
 
-Failure semantics
------------------
-* A request whose method raises gets a structured ``error`` reply (exception
-  class name + message); the connection stays up and the store is untouched
-  beyond whatever the store method itself committed.
-* Mutating requests carry a client-generated ``op`` id.  The server records
-  the reply of every executed op (bounded LRU); a request replaying a known
-  op id returns the recorded reply *without touching the store*.  That is
-  what makes client retry after a lost reply safe: a retried ``complete()``
-  can never double-release dependents, and a retried ``claim_next()``
-  returns the row the lost reply already claimed instead of claiming a
-  second one.  The replay check and the execution share the dispatch lock,
-  so a retry racing its own original request waits and then replays.
-* Authentication is an optional shared token checked per request
-  (``hmac.compare_digest``); a bad token gets an ``AuthError`` reply and the
-  connection is dropped.  The token gates accidental cross-talk between
-  fleets — it is not transport encryption; run the port inside the
-  cluster's trust boundary.
+The transport skeleton — threaded TCP listener, per-connection handler
+loop, token auth, op-id replay, graceful shutdown — is the shared
+:class:`~repro.distributed.rpc.RpcServer`; the solver fabric servers ride
+the same base.  See that module for the failure semantics (structured
+error replies, AuthError connection drops, replay of recorded op replies)
+that make client retry after a lost reply safe: a retried ``complete()``
+can never double-release dependents, and a retried ``claim_next()``
+returns the row the lost reply already claimed instead of claiming a
+second one.
 
 Shutdown is graceful: ``shutdown()`` (or the context manager / SIGTERM in
 the CLI) stops accepting, unblocks ``serve_forever``, and closes the store
@@ -36,121 +28,17 @@ reclaimed by the normal ``reclaim_stale`` path on the next drain.
 
 from __future__ import annotations
 
-import dataclasses
-import hmac
 import os
-import socket
-import socketserver
-import threading
-from collections import OrderedDict
 from typing import Any
 
 from ..orchestration.store import ExperimentStore
-from .protocol import (
-    PROTOCOL_VERSION,
-    RPC_METHODS,
-    ConnectionClosed,
-    FrameError,
-    format_address,
-    recv_frame,
-    send_frame,
-)
+from .protocol import PROTOCOL_VERSION, RPC_METHODS
+from .rpc import OP_CACHE_SIZE, RpcServer
 
 __all__ = ["StoreServer", "OP_CACHE_SIZE"]
 
-# Replies remembered for op-id replay.  Sized for hundreds of workers each
-# with a handful of retryable calls in flight; FIFO eviction means an op
-# is forgotten only after thousands of newer ops — far beyond any client's
-# retry window.
-OP_CACHE_SIZE = 4096
 
-
-class _OpCache:
-    """Bounded FIFO map of executed op ids to their recorded replies."""
-
-    def __init__(self, size: int = OP_CACHE_SIZE) -> None:
-        self._size = size
-        self._replies: OrderedDict[str, dict[str, Any]] = OrderedDict()
-
-    def get(self, op_id: str) -> dict[str, Any] | None:
-        return self._replies.get(op_id)
-
-    def put(self, op_id: str, reply: dict[str, Any]) -> None:
-        self._replies[op_id] = reply
-        while len(self._replies) > self._size:
-            self._replies.popitem(last=False)
-
-
-def _encode(value: Any) -> Any:
-    """JSON-shape a store result (dataclasses → dicts, tuples → lists)."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _encode(dataclasses.asdict(value))
-    if isinstance(value, (list, tuple)):
-        return [_encode(item) for item in value]
-    if isinstance(value, dict):
-        return {key: _encode(item) for key, item in value.items()}
-    return value
-
-
-class _Handler(socketserver.BaseRequestHandler):
-    """Per-connection loop: read a frame, dispatch, reply, repeat."""
-
-    def setup(self) -> None:
-        self.server.owner._track(self.request)  # type: ignore[attr-defined]
-
-    def finish(self) -> None:
-        self.server.owner._untrack(self.request)  # type: ignore[attr-defined]
-
-    def handle(self) -> None:
-        while True:
-            try:
-                request = recv_frame(self.request)
-            except (ConnectionClosed, FrameError, OSError):
-                return  # peer gone or speaking garbage: drop the connection
-            reply = self.server.owner.dispatch(request)  # type: ignore[attr-defined]
-            try:
-                send_frame(self.request, reply)
-            except OSError:
-                return
-            except (FrameError, TypeError, ValueError) as exc:
-                # The reply itself cannot be framed (result over the frame
-                # ceiling, or not JSON-serializable): fail the one call with
-                # a structured error instead of dying with no reply — the
-                # client would otherwise retry the same request into the
-                # same wall and misreport it as a network failure.
-                try:
-                    send_frame(
-                        self.request,
-                        _error(request.get("id"), "ReplyError", str(exc)),
-                    )
-                except OSError:
-                    return
-            if reply.get("error", {}).get("type") == "AuthError":
-                return  # no second guesses on a shared-token mismatch
-
-
-class _TCPServer(socketserver.ThreadingTCPServer):
-    daemon_threads = True
-    allow_reuse_address = True
-    owner: "StoreServer"
-
-
-class _TCP6Server(_TCPServer):
-    address_family = socket.AF_INET6
-
-
-def _server_class(host: str, port: int) -> type[_TCPServer]:
-    """Pick the socket family from the bind host (``::1`` needs AF_INET6)."""
-    try:
-        info = socket.getaddrinfo(host or None, port, type=socket.SOCK_STREAM)
-    except OSError:
-        return _TCPServer  # let bind() produce the real error
-    if info and info[0][0] == socket.AF_INET6:
-        return _TCP6Server
-    return _TCPServer
-
-
-class StoreServer:
+class StoreServer(RpcServer):
     """Serve one local experiment store to remote workers over TCP.
 
     ``port=0`` binds an ephemeral port (tests); the actual address is
@@ -158,6 +46,10 @@ class StoreServer:
     wait interleave — it is the *server's* knob because the claim ordinal
     lives in shared scheduler state, global across every remote worker.
     """
+
+    rpc_methods = RPC_METHODS
+    serialize_dispatch = True
+    thread_name = "repro-store-server"
 
     def __init__(
         self,
@@ -169,134 +61,18 @@ class StoreServer:
         fifo_every: int | None = None,
     ) -> None:
         store_kwargs = {} if fifo_every is None else {"fifo_every": fifo_every}
-        # Handler threads all dispatch under self._lock, but the connection
-        # they dispatch *from* differs per request — hence cross-thread.
+        # Handler threads all dispatch under the server lock, but the
+        # connection they dispatch *from* differs per request — hence
+        # cross-thread.
         self._store = ExperimentStore(db_path, check_same_thread=False, **store_kwargs)
-        self._token = token
-        self._lock = threading.Lock()
-        self._ops = _OpCache()
-        self._connections: set[Any] = set()
-        self._conn_lock = threading.Lock()
-        self._serve_thread: threading.Thread | None = None
-        self._serving = threading.Event()
-        self._closed = False
         try:
-            self._tcp = _server_class(host, port)((host, port), _Handler)
+            super().__init__(host=host, port=port, token=token)
         except BaseException:
             self._store.close()
             raise
-        self._tcp.owner = self
 
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    @property
-    def address(self) -> tuple[str, int]:
-        """The bound ``(host, port)`` (resolved even when ``port=0`` was asked)."""
-        host, port = self._tcp.server_address[:2]
-        return str(host), int(port)
-
-    @property
-    def url(self) -> str:
-        """The ``tcp://host:port`` form clients pass to ``--connect``."""
-        return format_address(*self.address)
-
-    def serve_forever(self) -> None:
-        """Block serving requests until :meth:`shutdown` is called."""
-        self._serving.set()
-        self._tcp.serve_forever(poll_interval=0.1)
-
-    def start(self) -> "StoreServer":
-        """Serve on a background thread (tests and embedded use)."""
-        if self._serve_thread is None:
-            self._serve_thread = threading.Thread(
-                target=self.serve_forever, name="repro-store-server", daemon=True
-            )
-            self._serve_thread.start()
-            # Wait for the accept loop to be entered: a shutdown() racing an
-            # unstarted loop would skip the stop request and leave the
-            # thread serving a closed listener.  (If the loop is entered
-            # with a stop already requested, serve_forever exits at once.)
-            self._serving.wait(timeout=5.0)
-        return self
-
-    def shutdown(self) -> None:
-        """Stop accepting, unblock ``serve_forever``, close the store."""
-        if self._closed:
-            return
-        self._closed = True
-        # BaseServer.shutdown blocks on an event only serve_forever sets, so
-        # it must be skipped when the accept loop was never entered.
-        if self._serving.is_set():
-            self._tcp.shutdown()
-        if self._serve_thread is not None:
-            self._serve_thread.join(timeout=5.0)
-        # Daemon handler threads are not joined by server_close; dropping
-        # their sockets unblocks the recv they sit in, so connected clients
-        # see a closed connection (and reconnect) rather than a half-dead
-        # server that still answers.
-        with self._conn_lock:
-            for sock in list(self._connections):
-                try:
-                    sock.shutdown(socket.SHUT_RDWR)
-                except OSError:
-                    pass
-        self._tcp.server_close()
-        # Taking the lock drains any request already mid-dispatch before the
-        # store's connection goes away beneath it.
-        with self._lock:
-            self._store.close()
-
-    def __enter__(self) -> "StoreServer":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.shutdown()
-
-    def _track(self, sock: Any) -> None:
-        with self._conn_lock:
-            self._connections.add(sock)
-
-    def _untrack(self, sock: Any) -> None:
-        with self._conn_lock:
-            self._connections.discard(sock)
-
-    # ------------------------------------------------------------------
-    # Dispatch
-    # ------------------------------------------------------------------
-    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
-        """One request frame → one reply frame (never raises)."""
-        request_id = request.get("id")
-        method = request.get("method")
-        # Compared as UTF-8 bytes: compare_digest refuses non-ASCII *str*
-        # operands, and raising here would kill the handler with no reply.
-        if self._token is not None and not hmac.compare_digest(
-            str(request.get("token") or "").encode(), self._token.encode()
-        ):
-            return _error(request_id, "AuthError", "missing or invalid token")
-        if not isinstance(method, str) or method not in RPC_METHODS:
-            return _error(request_id, "UnknownMethod", f"unknown method {method!r}")
-        params = request.get("params") or {}
-        if not isinstance(params, dict):
-            return _error(request_id, "BadRequest", "params must be an object")
-        op_id = request.get("op")
-        with self._lock:
-            if self._closed:
-                return _error(request_id, "ServerClosed", "server is shutting down")
-            if op_id is not None:
-                recorded = self._ops.get(str(op_id))
-                if recorded is not None:
-                    return {**recorded, "id": request_id, "replayed": True}
-            try:
-                result = _encode(self._invoke(method, params))
-            except Exception as exc:  # structured reply; connection survives
-                # Errors are deliberately not recorded for replay: a failed
-                # op committed nothing, so re-executing the retry is the
-                # correct (and possibly now-successful) outcome.
-                return _error(request_id, type(exc).__name__, str(exc))
-            if op_id is not None:
-                self._ops.put(str(op_id), {"result": result})
-            return {"id": request_id, "result": result}
+    def _on_shutdown(self) -> None:
+        self._store.close()
 
     def _invoke(self, method: str, params: dict[str, Any]) -> Any:
         if method == "ping":
@@ -314,7 +90,3 @@ class StoreServer:
             # JSON turned the (finished_at, id) watermark into a list.
             params = {**params, "since": tuple(params["since"])}
         return getattr(self._store, method)(**params)
-
-
-def _error(request_id: Any, error_type: str, message: str) -> dict[str, Any]:
-    return {"id": request_id, "error": {"type": error_type, "message": message}}

@@ -122,10 +122,18 @@ class SolveTelemetry:
     """Uniform per-solve telemetry attached by the solver service.
 
     Every solve that goes through :class:`repro.solver.SolverService` —
-    inline or pooled — carries one of these: wall time, terminal status,
-    the backend *fingerprint* (name + version + option digest, the cache
-    identity from the registry), whether the solve ran on a subprocess
-    solver server, and that server's pid when it did.
+    inline, pooled, or on a remote fabric endpoint — carries one of these:
+    wall time, terminal status, the backend *fingerprint* (name + version +
+    option digest, the cache identity from the registry), whether the solve
+    ran on a subprocess solver server, and that server's pid when it did.
+
+    ``wall_time`` is the solve's own wall clock (backend time on whichever
+    process ran it).  The split fields break a pooled/fabric solve down:
+    ``queue_wait_s`` is the time between submission and dispatch onto a
+    solver server, ``solve_s`` the backend solve time on that server, and
+    ``wire_s`` the transport overhead of a remote (fabric) solve —
+    round-trip minus the server-side queue and solve time.  ``endpoint``
+    names the serving fabric endpoint (``None`` for inline/local solves).
     """
 
     backend: str
@@ -134,6 +142,10 @@ class SolveTelemetry:
     status: str
     pooled: bool = False
     server_pid: int | None = None
+    queue_wait_s: float | None = None
+    solve_s: float | None = None
+    wire_s: float | None = None
+    endpoint: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -143,6 +155,10 @@ class SolveTelemetry:
             "status": self.status,
             "pooled": self.pooled,
             "server_pid": self.server_pid,
+            "queue_wait_s": self.queue_wait_s,
+            "solve_s": self.solve_s,
+            "wire_s": self.wire_s,
+            "endpoint": self.endpoint,
         }
 
 

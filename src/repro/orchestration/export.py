@@ -25,6 +25,8 @@ __all__ = [
     "render_table",
     "to_latex",
     "export_experiment",
+    "aggregate_solver_telemetry",
+    "format_solver_telemetry",
     "FORMATS",
 ]
 
@@ -82,36 +84,71 @@ def to_latex(table: ExperimentTable) -> str:
     return "\n".join(lines)
 
 
-def _solver_telemetry_note(done_rows: list[Any]) -> str | None:
-    """Aggregate per-cell ``_solver_telemetry`` payloads into one table note.
+def aggregate_solver_telemetry(done_rows: list[Any]) -> dict[str, Any] | None:
+    """Sum the per-cell ``_solver_telemetry`` payloads of completed rows.
 
     The runner attaches a solver-service stats delta (solve count, wall
-    time, backend-fingerprint histogram, pooled-solve count) to every
-    completed cell; the export rolls them up so a table shows where its
-    MILP time went and exactly which backend builds produced it.
+    time, the queue-wait/solve/wire time split, backend-fingerprint and
+    serving-endpoint histograms) to every completed cell; this rolls them
+    up for the export note and ``orch status``.  Returns ``None`` when no
+    row carries telemetry.
     """
-    solves = 0
-    pooled = 0
-    wall_time = 0.0
-    backends: dict[str, int] = {}
+    totals: dict[str, Any] = {
+        "solves": 0,
+        "pooled_solves": 0,
+        "wall_time": 0.0,
+        "queue_wait_s": 0.0,
+        "solve_s": 0.0,
+        "wire_s": 0.0,
+        "backends": {},
+        "endpoints": {},
+    }
     for row in done_rows:
         payload = (row.result or {}).get("_solver_telemetry")
         if not isinstance(payload, dict):
             continue
-        solves += int(payload.get("solves", 0))
-        pooled += int(payload.get("pooled_solves", 0))
-        wall_time += float(payload.get("wall_time", 0.0))
-        for fingerprint, count in (payload.get("backends") or {}).items():
-            backends[fingerprint] = backends.get(fingerprint, 0) + int(count)
-    if not solves:
-        return None
+        totals["solves"] += int(payload.get("solves", 0))
+        totals["pooled_solves"] += int(payload.get("pooled_solves", 0))
+        for key in ("wall_time", "queue_wait_s", "solve_s", "wire_s"):
+            totals[key] += float(payload.get(key, 0.0))
+        for histogram in ("backends", "endpoints"):
+            for name, count in (payload.get(histogram) or {}).items():
+                totals[histogram][name] = totals[histogram].get(name, 0) + int(count)
+    return totals if totals["solves"] else None
+
+
+def format_solver_telemetry(totals: dict[str, Any]) -> str:
+    """One-line rollup of :func:`aggregate_solver_telemetry` totals."""
     backend_text = ", ".join(
-        f"{fingerprint} x{count}" for fingerprint, count in sorted(backends.items())
+        f"{fingerprint} x{count}"
+        for fingerprint, count in sorted(totals["backends"].items())
     )
-    return (
-        f"solver telemetry: {solves} MILP solves ({pooled} pooled), "
-        f"{wall_time:.2f}s solver wall time; backends: {backend_text}"
+    text = (
+        f"solver telemetry: {totals['solves']} MILP solves "
+        f"({totals['pooled_solves']} pooled), "
+        f"{totals['wall_time']:.2f}s solver wall time"
     )
+    # The split only exists for pooled/fabric solves; a purely inline run
+    # would print an all-zero breakdown nobody asked for.
+    if totals["queue_wait_s"] or totals["wire_s"]:
+        text += (
+            f" (queue {totals['queue_wait_s']:.2f}s"
+            f" + solve {totals['solve_s']:.2f}s"
+            f" + wire {totals['wire_s']:.2f}s)"
+        )
+    text += f"; backends: {backend_text}"
+    if totals["endpoints"]:
+        endpoint_text = ", ".join(
+            f"{endpoint} x{count}"
+            for endpoint, count in sorted(totals["endpoints"].items())
+        )
+        text += f"; endpoints: {endpoint_text}"
+    return text
+
+
+def _solver_telemetry_note(done_rows: list[Any]) -> str | None:
+    totals = aggregate_solver_telemetry(done_rows)
+    return format_solver_telemetry(totals) if totals else None
 
 
 def _scheduling_note(done_rows: list[Any]) -> str | None:

@@ -30,9 +30,16 @@ Solver servers: with ``solver_servers > 0`` each worker process installs a
 shared :class:`repro.solver.SolverPool` of that many subprocess solver
 servers around its claim–execute loop, so the MILP solves inside a cell can
 overlap instead of blocking the worker (``repro orch run --solver-servers
-N``).  The per-cell solver telemetry delta (solve count, wall time, backend
-fingerprints) is attached to every result under ``_solver_telemetry`` and
-surfaced by ``repro orch export``.
+N``).  With ``solver_connect`` the worker instead routes its MILP solves
+over a :class:`repro.solver.SolverFabric` of remote solver endpoints
+(``repro orch solver-serve`` processes on any machines; ``--solver-connect
+HOST:PORT[,HOST:PORT...]``) — least-loaded routing, content-hash result
+memoisation, and exactly-once work-stealing around endpoint failures; a
+nonzero ``solver_servers`` then contributes a local pool as one more
+endpoint.  The per-cell solver telemetry delta (solve count, wall time,
+queue-wait/solve/wire split, backend fingerprints, serving endpoints) is
+attached to every result under ``_solver_telemetry`` and surfaced by
+``repro orch export`` and ``repro orch status``.
 
 Scheduling: ``run_pool`` plans before it drains (``plan=True``): the
 :mod:`~repro.orchestration.planner` hoists shared prerequisites and the
@@ -66,7 +73,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..solver import get_solver_service, pooled_service_scope
+from ..solver import get_solver_service, solver_service_scope
 from . import registry
 from .cache import cache_scope
 from .planner import PREREQ_EXPERIMENT, replan
@@ -200,6 +207,7 @@ def run_worker(
     *,
     use_cache: bool = True,
     solver_servers: int = 0,
+    solver_connect: str | Sequence[str] | None = None,
     stale_after: float = 600.0,
     replan_every: int = 0,
     fifo_every: int | None = None,
@@ -247,8 +255,8 @@ def run_worker(
     # leave the process-global cache pointed at this store after returning;
     # a None target pins the persistent layer (and its env fallback) off, so
     # use_cache=False cannot be overridden by REPRO_CACHE_DB.
-    with store, cache_scope(cache_target), pooled_service_scope(
-        solver_servers
+    with store, cache_scope(cache_target), solver_service_scope(
+        solver_servers, solver_connect, token=token
     ) as solver_service:
         while True:
             claimed = store.claim_next(worker_tag, experiments)
@@ -333,6 +341,7 @@ def _drain(
     *,
     use_cache: bool,
     solver_servers: int,
+    solver_connect: str | Sequence[str] | None,
     stale_after: float,
     replan_every: int,
     fifo_every: int | None,
@@ -357,6 +366,7 @@ def _drain(
                 f"w0.{fleet}",
                 use_cache=use_cache,
                 solver_servers=solver_servers,
+                solver_connect=solver_connect,
                 stale_after=stale_after,
                 replan_every=replan_every,
                 fifo_every=fifo_every,
@@ -373,6 +383,7 @@ def _drain(
                 f"w{i}.{fleet}",
                 use_cache=use_cache,
                 solver_servers=solver_servers,
+                solver_connect=solver_connect,
                 stale_after=stale_after,
                 replan_every=replan_every,
                 fifo_every=fifo_every,
@@ -392,6 +403,7 @@ def run_workers(
     stale_after: float = 600.0,
     use_cache: bool = True,
     solver_servers: int = 0,
+    solver_connect: str | Sequence[str] | None = None,
     replan_every: int = DEFAULT_REPLAN_EVERY,
     fifo_every: int | None = None,
     token: str | None = None,
@@ -424,6 +436,7 @@ def run_workers(
             report,
             use_cache=use_cache,
             solver_servers=solver_servers,
+            solver_connect=solver_connect,
             stale_after=stale_after,
             replan_every=replan_every,
             fifo_every=fifo_every,
@@ -444,6 +457,8 @@ def run_pool(
     stale_after: float = 600.0,
     use_cache: bool = True,
     solver_servers: int = 0,
+    solver_connect: str | Sequence[str] | None = None,
+    solver_token: str | None = None,
     plan: bool = True,
     replan_every: int = DEFAULT_REPLAN_EVERY,
     fifo_every: int | None = None,
@@ -460,6 +475,12 @@ def run_pool(
     reclaim all running rows (safe when no other runner shares the file).
     ``solver_servers`` gives every worker its own pool of that many
     subprocess solver servers (0 = inline solves, the default).
+    ``solver_connect`` routes every worker's MILP solves over a
+    :class:`repro.solver.SolverFabric` of remote solver endpoints instead
+    (``repro orch solver-serve`` processes, authenticated by
+    ``solver_token``); combined with ``solver_servers`` each worker also
+    contributes a local pool of that size as one more fabric endpoint.
+    The store itself stays local either way.
 
     ``plan=True`` (the default, applied when explicit names are given) runs
     the dependency-aware planner before draining: shared prerequisites are
@@ -529,9 +550,11 @@ def run_pool(
             report,
             use_cache=use_cache,
             solver_servers=solver_servers,
+            solver_connect=solver_connect,
             stale_after=stale_after,
             replan_every=replan_every,
             fifo_every=fifo_every,
+            token=solver_token,
         )
     report.wall_time = time.perf_counter() - start
     return report

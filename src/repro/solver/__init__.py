@@ -13,7 +13,13 @@ Three pieces:
 * :mod:`repro.solver.service` — the :class:`SolverService` facade the whole
   repository calls through; attaches uniform telemetry to every solution
   and routes batches onto the pool when one is installed
-  (:func:`pooled_service_scope`).
+  (:func:`pooled_service_scope` / :func:`solver_service_scope`).
+* :mod:`repro.solver.fabric` — the remote solver fabric: solver servers any
+  host runs (``repro orch solver-serve``) and the :class:`SolverFabric`
+  client that routes solves across them with least-loaded EWMA scheduling,
+  a content-hash result memo, and exactly-once work-stealing around dead or
+  wedged endpoints.  Imported lazily: plain single-host runs never touch
+  the networking stack.
 
 :func:`repro.milp.solve_model` is a thin shim over this package; no other
 call site dispatches on raw backend strings.
@@ -44,14 +50,30 @@ from .service import (
     get_solver_service,
     pooled_service_scope,
     service_scope,
+    solver_service_scope,
+)
+
+_FABRIC_NAMES = frozenset(
+    {
+        "DEFAULT_SOLVER_PORT",
+        "FabricStats",
+        "SolverFabric",
+        "SolverFabricError",
+        "SolverFabricServer",
+    }
 )
 
 __all__ = [
     "BackendSpec",
+    "DEFAULT_SOLVER_PORT",
+    "FabricStats",
     "PoolStats",
     "SolveRequest",
     "SolverBackend",
     "SolverBackendError",
+    "SolverFabric",
+    "SolverFabricError",
+    "SolverFabricServer",
     "SolverPool",
     "SolverPoolError",
     "SolverPoolTimeoutError",
@@ -64,5 +86,16 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "service_scope",
+    "solver_service_scope",
     "unregister_backend",
 ]
+
+
+def __getattr__(name: str):
+    # Fabric symbols resolve lazily so importing repro.solver stays free of
+    # the sockets/select machinery for single-host runs.
+    if name in _FABRIC_NAMES:
+        from . import fabric
+
+        return getattr(fabric, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -109,6 +109,7 @@ class _PendingSolve:
     hard_timeout: float | None
     future: Future
     attempts: int = 0
+    submitted_at: float = 0.0
     dispatched_at: float = 0.0
     started: bool = False
 
@@ -126,8 +127,18 @@ def _server_main(conn: Connection, initializer: Callable[[], None] | None) -> No
     """Body of one solver server process: recv → solve → send, forever."""
     if initializer is not None:
         initializer()
+    parent_pid = os.getppid()
     while True:
         try:
+            # Under the fork start method this child inherits the parent's
+            # end of its own pipe, so a SIGKILLed parent never produces EOF
+            # here — and daemonic cleanup only runs on graceful parent exit.
+            # Poll with a timeout and watch for re-parenting instead, so a
+            # hard-killed pool owner (e.g. a solver-serve endpoint) does not
+            # strand its solver processes.
+            while not conn.poll(timeout=1.0):
+                if os.getppid() != parent_pid:
+                    return
             message = conn.recv()
         except (EOFError, OSError):
             return
@@ -246,6 +257,7 @@ class SolverPool:
             ),
             hard_timeout=hard_timeout,
             future=Future(),
+            submitted_at=time.monotonic(),
         )
         with self._lock:
             # Checked under the lock: a submit racing close() must either
@@ -499,6 +511,13 @@ class SolverPool:
             _, _, solution, server_wall_time, server_pid = message
             solution.diagnostics.setdefault("server_wall_time", float(server_wall_time))
             solution.diagnostics.setdefault("server_pid", int(server_pid))
+            # Time the solve sat in the queue before a server took it —
+            # retries restamp dispatched_at, so this is wait before the
+            # attempt that actually finished.
+            solution.diagnostics.setdefault(
+                "queue_wait_s",
+                max(0.0, pending.dispatched_at - pending.submitted_at),
+            )
             self._stats.completed += 1
             pending.future.set_result(solution)
         elif message[1] == "raise":

@@ -23,32 +23,47 @@ infrastructure failure worth surfacing, not a property of the model.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from ..milp.model import LinearModel, CompiledModel, MilpSolution, SolutionStatus, SolveTelemetry
 from .pool import SolveRequest, SolverPool, SolverPoolTimeoutError
 from .registry import BackendSpec, backend_fingerprint, resolve_backend
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle at runtime
+    from .fabric import SolverFabric
 
 __all__ = [
     "SolverService",
     "get_solver_service",
     "pooled_service_scope",
     "service_scope",
+    "solver_service_scope",
 ]
 
 
 class SolverService:
-    """Facade over the backend registry and an optional subprocess pool."""
+    """Facade over the backend registry and an optional subprocess pool.
 
-    def __init__(self, pool: SolverPool | None = None) -> None:
+    ``pool`` is anything with the pool futures API — a local
+    :class:`~repro.solver.pool.SolverPool` or a
+    :class:`~repro.solver.fabric.SolverFabric` routing solves across remote
+    endpoints; the service cannot tell them apart and does not try to.
+    """
+
+    def __init__(self, pool: "SolverPool | SolverFabric | None" = None) -> None:
         self.pool = pool
         self._stats: dict[str, Any] = {
             "solves": 0,
             "pooled_solves": 0,
             "wall_time": 0.0,
+            "queue_wait_s": 0.0,
+            "solve_s": 0.0,
+            "wire_s": 0.0,
             "backends": {},
+            "endpoints": {},
         }
 
     # ------------------------------------------------------------------
@@ -180,6 +195,18 @@ class SolverService:
         self, solution: MilpSolution, spec: BackendSpec, wall_time: float, *, pooled: bool
     ) -> None:
         fingerprint = backend_fingerprint(spec)
+        diagnostics = solution.diagnostics
+        if pooled:
+            # Pool and fabric dispatch paths stamp the split; a degraded
+            # (timed-out) solve may carry none of it.
+            queue_wait = diagnostics.get("queue_wait_s")
+            solve_s = diagnostics.get("server_wall_time")
+            wire_s = diagnostics.get("wire_s")
+            endpoint = diagnostics.get("endpoint")
+        else:
+            # Inline: the solve runs in this very call, so its wall clock
+            # *is* the solve time and nothing ever queued or crossed a wire.
+            queue_wait, solve_s, wire_s, endpoint = 0.0, wall_time, None, None
         solution.telemetry = SolveTelemetry(
             backend=spec.name,
             fingerprint=fingerprint,
@@ -187,13 +214,26 @@ class SolverService:
             status=solution.status.value,
             pooled=pooled,
             server_pid=solution.diagnostics.get("server_pid"),
+            queue_wait_s=float(queue_wait) if queue_wait is not None else None,
+            solve_s=float(solve_s) if solve_s is not None else None,
+            wire_s=float(wire_s) if wire_s is not None else None,
+            endpoint=str(endpoint) if endpoint is not None else None,
         )
         self._stats["solves"] += 1
         if pooled:
             self._stats["pooled_solves"] += 1
         self._stats["wall_time"] += float(wall_time)
+        if queue_wait is not None:
+            self._stats["queue_wait_s"] += float(queue_wait)
+        if solve_s is not None:
+            self._stats["solve_s"] += float(solve_s)
+        if wire_s is not None:
+            self._stats["wire_s"] += float(wire_s)
         per_backend = self._stats["backends"]
         per_backend[fingerprint] = per_backend.get(fingerprint, 0) + 1
+        if endpoint is not None:
+            per_endpoint = self._stats["endpoints"]
+            per_endpoint[endpoint] = per_endpoint.get(endpoint, 0) + 1
 
     # ------------------------------------------------------------------
     # Telemetry counters (per process, per service)
@@ -203,7 +243,11 @@ class SolverService:
             "solves": self._stats["solves"],
             "pooled_solves": self._stats["pooled_solves"],
             "wall_time": self._stats["wall_time"],
+            "queue_wait_s": self._stats["queue_wait_s"],
+            "solve_s": self._stats["solve_s"],
+            "wire_s": self._stats["wire_s"],
             "backends": dict(self._stats["backends"]),
+            "endpoints": dict(self._stats["endpoints"]),
         }
 
     def stats_delta(self, before: dict[str, Any]) -> dict[str, Any]:
@@ -214,11 +258,20 @@ class SolverService:
             for fp, count in now["backends"].items()
             if count - before.get("backends", {}).get(fp, 0)
         }
+        endpoints = {
+            ep: count - before.get("endpoints", {}).get(ep, 0)
+            for ep, count in now["endpoints"].items()
+            if count - before.get("endpoints", {}).get(ep, 0)
+        }
         return {
             "solves": now["solves"] - before.get("solves", 0),
             "pooled_solves": now["pooled_solves"] - before.get("pooled_solves", 0),
             "wall_time": now["wall_time"] - before.get("wall_time", 0.0),
+            "queue_wait_s": now["queue_wait_s"] - before.get("queue_wait_s", 0.0),
+            "solve_s": now["solve_s"] - before.get("solve_s", 0.0),
+            "wire_s": now["wire_s"] - before.get("wire_s", 0.0),
             "backends": backends,
+            "endpoints": endpoints,
         }
 
 
@@ -261,3 +314,46 @@ def pooled_service_scope(
             yield service
     finally:
         pool.close()
+
+
+@contextmanager
+def solver_service_scope(
+    num_servers: int = 0,
+    connect: str | Sequence[str] | None = None,
+    *,
+    token: str | None = None,
+    **pool_kwargs: Any,
+) -> Iterator[SolverService]:
+    """The one scope the worker loop uses, whatever its solver topology.
+
+    * no ``connect`` — exactly :func:`pooled_service_scope`: a local pool of
+      ``num_servers`` (or the ambient inline service when ``<= 0``).
+    * with ``connect`` (``HOST:PORT`` targets, or one comma-separated
+      string) — a :class:`~repro.solver.fabric.SolverFabric` over those
+      endpoints; ``num_servers > 0`` additionally contributes a local pool
+      of that size as one more fabric endpoint, and ``num_servers < 0``
+      sizes that local pool to the host's cores.  The fabric (and the local
+      pool it owns) is closed when the scope exits.
+    """
+    if not connect:
+        with pooled_service_scope(num_servers, **pool_kwargs) as service:
+            yield service
+        return
+    from .fabric import SolverFabric  # deferred: fabric imports this module
+
+    local_pool = None
+    if num_servers:
+        size = num_servers if num_servers > 0 else (os.cpu_count() or 1)
+        local_pool = SolverPool(size, **pool_kwargs)
+    fabric = None
+    try:
+        fabric = SolverFabric(
+            connect, token=token, local_pool=local_pool, own_local_pool=True
+        )
+        with service_scope(SolverService(fabric)) as service:
+            yield service
+    finally:
+        if fabric is not None:
+            fabric.close()
+        elif local_pool is not None:  # fabric construction failed
+            local_pool.close()

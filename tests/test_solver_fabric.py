@@ -1,0 +1,520 @@
+"""Tests for the remote solver fabric (repro.solver.fabric).
+
+Covers the failure-mode battery of PR 7:
+
+* wire codecs round-trip compiled models (including infinite bounds) and
+  solutions;
+* an endpoint SIGKILLed mid-batch triggers work-stealing re-dispatch: every
+  solve completes exactly once on the surviving endpoint;
+* a wedged (SIGSTOPped) endpoint is stolen from after the per-solve
+  deadline, and its late original reply is *deduplicated* by op id — the
+  future resolves once, the duplicate is counted, never double-delivered;
+* a per-solve hard timeout kills only the offending solve: the endpoint
+  stays alive and keeps serving;
+* an auth mismatch is a clean :class:`AuthError`, raised at probe time;
+* ``solve_many`` preserves request order across mixed local/remote
+  endpoints;
+* ``--solver-servers`` and ``--solver-connect`` are mutually exclusive in
+  the CLI.
+
+The chaos backend is registered at import time so fork-started pool servers
+(in-process :class:`SolverFabricServer` fixtures) inherit it; subprocess
+endpoints register their own copy inside the launcher script.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.distributed.protocol import AddressError, AuthError, RemoteOperationError
+from repro.milp import LinearModel, MilpSolution, SolutionStatus
+from repro.solver import (
+    BackendSpec,
+    SolveRequest,
+    SolverPool,
+    SolverPoolTimeoutError,
+    SolverService,
+    register_backend,
+)
+from repro.solver.fabric import (
+    DEFAULT_SOLVER_PORT,
+    SolverFabric,
+    SolverFabricError,
+    SolverFabricServer,
+    model_from_wire,
+    model_to_wire,
+    parse_endpoint,
+    solution_from_wire,
+    solution_to_wire,
+    solve_content_key,
+)
+
+
+class ChaosBackend:
+    """A backend with scriptable latency for fabric testing."""
+
+    name = "fabric-chaos"
+    version = "1"
+
+    def solve(self, model, *, time_limit, mip_rel_gap, options):
+        if options.get("sleep"):
+            time.sleep(float(options["sleep"]))
+        if options.get("boom"):
+            from repro.core.errors import InvalidInstanceError
+
+            raise InvalidInstanceError(str(options["boom"]))
+        return MilpSolution(
+            status=SolutionStatus.OPTIMAL, objective=float(options.get("value", 0.0))
+        )
+
+
+register_backend(ChaosBackend(), replace=True)
+
+
+def _trivial_model() -> LinearModel:
+    return LinearModel("trivial")
+
+
+def _chaos(value: float, sleep: float = 0.0) -> BackendSpec:
+    options = {"value": value}
+    if sleep:
+        options["sleep"] = sleep
+    return BackendSpec.make("fabric-chaos", **options)
+
+
+def _real_model(target: float = 3.0) -> LinearModel:
+    model = LinearModel(f"m{target}")
+    model.add_variable("x", integer=True, objective=1.0)
+    model.add_variable("free", lower=-2.0, objective=0.0)
+    model.add_ge("c", {"x": 1.0}, target)
+    return model
+
+
+# ----------------------------------------------------------------------
+# Wire codecs
+# ----------------------------------------------------------------------
+class TestCodecs:
+    def test_model_roundtrip_including_inf_bounds(self):
+        model = LinearModel("wide")
+        model.add_variable("x", integer=True, objective=2.0)
+        # upper=None compiles to +inf — the codec must survive non-finite
+        # floats (Python's json emits Infinity literals; both ends are us).
+        model.add_variable("y", lower=-3.5, upper=None, objective=-1.0)
+        model.add_ge("lo", {"x": 1.0, "y": 0.5}, 4.0)
+        model.add_le("hi", {"y": 2.0}, 9.0)
+        model.add_eq("eq", {"x": 1.0}, 5.0)
+        compiled = model.compile()
+        restored = model_from_wire(model_to_wire(compiled))
+        assert restored.variable_names == compiled.variable_names
+        np.testing.assert_array_equal(restored.objective, compiled.objective)
+        np.testing.assert_array_equal(restored.lower, compiled.lower)
+        np.testing.assert_array_equal(restored.upper, compiled.upper)
+        np.testing.assert_array_equal(restored.integrality, compiled.integrality)
+        assert (restored.a_ub != compiled.a_ub).nnz == 0
+        assert (restored.a_eq != compiled.a_eq).nnz == 0
+        np.testing.assert_array_equal(restored.b_ub, compiled.b_ub)
+        np.testing.assert_array_equal(restored.b_eq, compiled.b_eq)
+
+    def test_solution_roundtrip(self):
+        solution = MilpSolution(
+            status=SolutionStatus.FEASIBLE,
+            objective=12.5,
+            values={"x": 3.0, "y": -1.25},
+            diagnostics={"mip_gap": 0.01, "note": "hi"},
+        )
+        restored = solution_from_wire(solution_to_wire(solution))
+        assert restored.status is SolutionStatus.FEASIBLE
+        assert restored.objective == 12.5
+        assert restored.values == solution.values
+        assert restored.diagnostics["mip_gap"] == 0.01
+
+    def test_content_key_tracks_model_spec_and_limits(self):
+        wire = model_to_wire(_real_model().compile())
+        base = solve_content_key(
+            wire, BackendSpec.make("scipy"), time_limit=None, mip_rel_gap=0.0
+        )
+        assert base == solve_content_key(
+            wire, BackendSpec.make("scipy"), time_limit=None, mip_rel_gap=0.0
+        )
+        assert base != solve_content_key(
+            wire, BackendSpec.make("scipy"), time_limit=5.0, mip_rel_gap=0.0
+        )
+        other = model_to_wire(_real_model(4.0).compile())
+        assert base != solve_content_key(
+            other, BackendSpec.make("scipy"), time_limit=None, mip_rel_gap=0.0
+        )
+
+    def test_parse_endpoint_defaults_solver_port(self):
+        assert parse_endpoint("solverbox") == ("solverbox", DEFAULT_SOLVER_PORT)
+        assert parse_endpoint("tcp://solverbox") == ("solverbox", DEFAULT_SOLVER_PORT)
+        assert parse_endpoint("solverbox:9001") == ("solverbox", 9001)
+        assert parse_endpoint("[::1]") == ("::1", DEFAULT_SOLVER_PORT)
+        assert parse_endpoint("[::1]:9001") == ("::1", 9001)
+        with pytest.raises(AddressError):
+            parse_endpoint("")
+
+
+# ----------------------------------------------------------------------
+# One in-process endpoint: dispatch, telemetry, cache, errors
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def endpoint():
+    with SolverFabricServer(port=0, servers=2, token="hunter2").start() as server:
+        yield server
+
+
+class TestFabricBasics:
+    def test_solves_route_and_complete(self, endpoint):
+        host, port = endpoint.address
+        with SolverFabric([f"{host}:{port}"], token="hunter2") as fabric:
+            futures = [
+                fabric.submit(_trivial_model(), spec=_chaos(float(i)))
+                for i in range(8)
+            ]
+            assert [f.result(timeout=60).objective for f in futures] == [
+                float(i) for i in range(8)
+            ]
+            stats = fabric.stats()
+            assert stats.completed == 8
+            assert stats.steals == 0
+            assert stats.duplicates_dropped == 0
+
+    def test_matches_inline_objectives(self, endpoint):
+        from repro.milp import solve_with_scipy
+
+        targets = [1.5, 2.5, 3.5]
+        host, port = endpoint.address
+        with SolverFabric([f"{host}:{port}"], token="hunter2") as fabric:
+            remote = [
+                fabric.submit(_real_model(t)).result(timeout=60) for t in targets
+            ]
+        inline = [solve_with_scipy(_real_model(t)) for t in targets]
+        assert [s.objective for s in remote] == [s.objective for s in inline]
+
+    def test_service_telemetry_has_wire_split_and_endpoint(self, endpoint):
+        host, port = endpoint.address
+        with SolverFabric([f"{host}:{port}"], token="hunter2") as fabric:
+            service = SolverService(fabric)
+            solutions = service.solve_many(
+                [SolveRequest(model=_real_model(t)) for t in (2.0, 3.0)]
+            )
+            for solution in solutions:
+                telemetry = solution.telemetry
+                assert telemetry.pooled is True
+                assert telemetry.endpoint == f"tcp://{host}:{port}"
+                assert telemetry.queue_wait_s is not None and telemetry.queue_wait_s >= 0
+                assert telemetry.solve_s is not None and telemetry.solve_s >= 0
+                assert telemetry.wire_s is not None and telemetry.wire_s >= 0
+            stats = service.stats()
+            assert stats["endpoints"] == {f"tcp://{host}:{port}": 2}
+            assert stats["solve_s"] > 0
+
+    def test_content_cache_skips_wire_dispatch(self, endpoint):
+        host, port = endpoint.address
+        with SolverFabric([f"{host}:{port}"], token="hunter2") as fabric:
+            first = fabric.submit(_real_model(3.0)).result(timeout=60)
+            second = fabric.submit(_real_model(3.0)).result(timeout=60)
+            stats = fabric.stats()
+            assert stats.cache_hits == 1
+            assert stats.dispatched == 1  # the second solve never hit the wire
+            assert second.objective == first.objective
+            assert second.diagnostics.get("fabric_cache_hit") is True
+
+    def test_auth_mismatch_is_clean_autherror(self, endpoint):
+        host, port = endpoint.address
+        with pytest.raises(AuthError):
+            SolverFabric([f"{host}:{port}"], token="wrong")
+        with pytest.raises(AuthError):
+            SolverFabric([f"{host}:{port}"])  # no token at all
+        # AuthError stays a RemoteOperationError so generic handlers (the
+        # CLI's one-line diagnosis) catch it without special-casing.
+        assert issubclass(AuthError, RemoteOperationError)
+
+    def test_unreachable_endpoint_raises_fabric_error(self):
+        with pytest.raises(SolverFabricError):
+            SolverFabric(["127.0.0.1:1"], connect_timeout=0.3)
+
+    def test_backend_errors_survive_the_wire_typed(self, endpoint):
+        from repro.core.errors import InvalidInstanceError
+
+        host, port = endpoint.address
+        with SolverFabric([f"{host}:{port}"], token="hunter2") as fabric:
+            future = fabric.submit(
+                _trivial_model(), spec=BackendSpec.make("fabric-chaos", boom="bad instance")
+            )
+            with pytest.raises(InvalidInstanceError, match="bad instance"):
+                future.result(timeout=60)
+
+
+class TestTimeouts:
+    def test_hard_timeout_degrades_and_endpoint_survives(self, endpoint):
+        host, port = endpoint.address
+        with SolverFabric([f"{host}:{port}"], token="hunter2") as fabric:
+            slow = fabric.submit(
+                _trivial_model(), spec=_chaos(1.0, sleep=30.0), hard_timeout=0.5
+            )
+            with pytest.raises(SolverPoolTimeoutError):
+                slow.result(timeout=60)
+            # Only the offending solver server died; the endpoint keeps
+            # serving and later solves are unaffected.
+            ok = fabric.submit(_trivial_model(), spec=_chaos(7.0))
+            assert ok.result(timeout=60).objective == 7.0
+            assert fabric.endpoint_stats()[0]["alive"] is True
+
+    def test_service_degrades_timeout_to_limit(self, endpoint):
+        host, port = endpoint.address
+        with SolverFabric([f"{host}:{port}"], token="hunter2") as fabric:
+            service = SolverService(fabric)
+            solutions = service.solve_many(
+                [
+                    SolveRequest(
+                        model=_trivial_model(),
+                        spec=_chaos(1.0, sleep=30.0),
+                        hard_timeout=0.5,
+                    ),
+                    SolveRequest(model=_trivial_model(), spec=_chaos(2.0)),
+                ]
+            )
+            assert solutions[0].status is SolutionStatus.LIMIT
+            assert "pool_timeout" in solutions[0].diagnostics
+            assert solutions[1].objective == 2.0
+
+
+class TestMixedEndpointOrdering:
+    def test_solve_many_order_across_local_and_remote(self, endpoint):
+        host, port = endpoint.address
+        local = SolverPool(1)
+        with SolverFabric(
+            [f"{host}:{port}"], token="hunter2", local_pool=local, own_local_pool=True
+        ) as fabric:
+            assert fabric.num_servers == 3  # 2 remote + 1 local
+            requests = [
+                SolveRequest(
+                    model=_trivial_model(), spec=_chaos(float(i), sleep=0.15)
+                )
+                for i in range(8)
+            ]
+            solutions = fabric.solve_many(requests)
+            assert [s.objective for s in solutions] == [float(i) for i in range(8)]
+            # Least-loaded routing actually spread the batch: both the
+            # remote endpoint and the local pool served solves.
+            per_endpoint = {
+                stat["endpoint"]: stat["completed"] for stat in fabric.endpoint_stats()
+            }
+            assert per_endpoint["local"] >= 1
+            assert per_endpoint[f"tcp://{host}:{port}"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Real subprocess endpoints: SIGKILL work-stealing, SIGSTOP lame ducks
+# ----------------------------------------------------------------------
+_ENDPOINT_SCRIPT = """
+import time
+from repro.milp import MilpSolution, SolutionStatus
+from repro.solver import register_backend
+from repro.solver.fabric import SolverFabricServer
+
+class ChaosBackend:
+    name = "fabric-chaos"
+    version = "1"
+    def solve(self, model, *, time_limit, mip_rel_gap, options):
+        if options.get("sleep"):
+            time.sleep(float(options["sleep"]))
+        return MilpSolution(
+            status=SolutionStatus.OPTIMAL,
+            objective=float(options.get("value", 0.0)),
+        )
+
+register_backend(ChaosBackend(), replace=True)
+server = SolverFabricServer(port=0, servers=1, token="hunter2")
+print(f"PORT={server.address[1]}", flush=True)
+server.serve_forever()
+"""
+
+
+def _spawn_endpoint() -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-c", _ENDPOINT_SCRIPT],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    assert line.startswith("PORT="), f"endpoint failed to start: {line!r}"
+    return process, int(line.strip().split("=", 1)[1])
+
+
+class TestWorkStealing:
+    def test_sigkill_mid_batch_steals_without_loss_or_duplication(self):
+        first, first_port = _spawn_endpoint()
+        second, second_port = _spawn_endpoint()
+        try:
+            with SolverFabric(
+                [f"127.0.0.1:{first_port}", f"127.0.0.1:{second_port}"],
+                token="hunter2",
+            ) as fabric:
+                futures = [
+                    fabric.submit(
+                        _trivial_model(), spec=_chaos(float(i), sleep=0.4)
+                    )
+                    for i in range(6)
+                ]
+                time.sleep(0.2)  # let both endpoints take work in flight
+                first.kill()
+                results = [f.result(timeout=120).objective for f in futures]
+                # No solve lost, none double-counted: every op id resolved
+                # exactly once despite the re-dispatch.
+                assert sorted(results) == [float(i) for i in range(6)]
+                stats = fabric.stats()
+                assert stats.completed == 6
+                assert stats.steals >= 1
+                assert stats.endpoint_failures >= 1
+                assert stats.duplicates_dropped == 0
+                per_endpoint = {
+                    stat["endpoint"]: stat for stat in fabric.endpoint_stats()
+                }
+                assert per_endpoint[f"tcp://127.0.0.1:{first_port}"]["alive"] is False
+                assert per_endpoint[f"tcp://127.0.0.1:{second_port}"]["alive"] is True
+                completed_per_endpoint = sum(
+                    stat["completed"] for stat in per_endpoint.values()
+                )
+                assert completed_per_endpoint == 6
+        finally:
+            for process in (first, second):
+                if process.poll() is None:
+                    process.kill()
+                process.wait(timeout=30)
+
+    def test_sigstop_wedged_endpoint_steal_then_late_reply_deduped(self):
+        wedged, wedged_port = _spawn_endpoint()
+        healthy, healthy_port = _spawn_endpoint()
+        try:
+            fabric = SolverFabric(
+                [f"127.0.0.1:{wedged_port}"],
+                token="hunter2",
+                wire_grace=0.3,
+                lame_duck_grace=30.0,
+            )
+            # Learn which endpoint the solve lands on by having only one,
+            # then freeze it mid-solve: the reply can never arrive in time.
+            future = fabric.submit(
+                _trivial_model(), spec=_chaos(42.0, sleep=0.5), hard_timeout=1.0
+            )
+            time.sleep(0.2)
+            os.kill(wedged.pid, signal.SIGSTOP)
+            try:
+                # No other endpoint exists: after hard_timeout + wire_grace
+                # the fabric fails the solve with a client-side timeout.
+                with pytest.raises(SolverPoolTimeoutError):
+                    future.result(timeout=60)
+                assert fabric.stats().steals == 0
+            finally:
+                fabric.close()
+                os.kill(wedged.pid, signal.SIGCONT)
+
+            # Same scenario with a second live endpoint: the deadline now
+            # *steals* the solve instead of failing it, and the thawed
+            # original's late reply is dropped by the op-id dedup.
+            with SolverFabric(
+                # Healthy listed first: score ties break by list order, so
+                # the filler lands on it and the next solve routes to the
+                # wedged endpoint — which we then freeze mid-solve.
+                [f"127.0.0.1:{healthy_port}", f"127.0.0.1:{wedged_port}"],
+                token="hunter2",
+                wire_grace=0.3,
+                lame_duck_grace=30.0,
+            ) as fabric:
+                filler = fabric.submit(
+                    _trivial_model(), spec=_chaos(0.0, sleep=0.2)
+                )
+                time.sleep(0.05)
+                stolen = fabric.submit(
+                    _trivial_model(), spec=_chaos(7.0, sleep=0.5), hard_timeout=1.0
+                )
+                time.sleep(0.2)
+                os.kill(wedged.pid, signal.SIGSTOP)
+                try:
+                    assert filler.result(timeout=60).objective == 0.0
+                    assert stolen.result(timeout=60).objective == 7.0
+                    stats = fabric.stats()
+                    assert stats.steals >= 1
+                    os.kill(wedged.pid, signal.SIGCONT)
+                    # The lame-duck slot is still listening on the original
+                    # socket: the thawed endpoint's late reply for the stolen
+                    # op must be counted as a dropped duplicate, not applied.
+                    deadline = time.monotonic() + 30.0
+                    while time.monotonic() < deadline:
+                        if fabric.stats().duplicates_dropped >= 1:
+                            break
+                        time.sleep(0.1)
+                    assert fabric.stats().duplicates_dropped >= 1
+                    # The winning result was delivered exactly once.
+                    assert stolen.result().objective == 7.0
+                finally:
+                    if wedged.poll() is None:
+                        os.kill(wedged.pid, signal.SIGCONT)
+        finally:
+            for process in (wedged, healthy):
+                if process.poll() is None:
+                    process.kill()
+                process.wait(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCliValidation:
+    def test_solver_servers_and_connect_are_mutually_exclusive(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "orch",
+                    "run",
+                    "smoke",
+                    "--solver-servers",
+                    "2",
+                    "--solver-connect",
+                    "127.0.0.1:7480",
+                ]
+            )
+        assert "mutually exclusive" in str(excinfo.value)
+
+    def test_worker_rejects_both_solver_flags_too(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "orch",
+                    "worker",
+                    "--connect",
+                    "127.0.0.1:7479",
+                    "--solver-servers",
+                    "1",
+                    "--solver-connect",
+                    "127.0.0.1:7480",
+                ]
+            )
+        assert "mutually exclusive" in str(excinfo.value)
+
+    def test_solver_serve_is_a_registered_orch_command(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["orch", "solver-serve", "--port", "0", "--servers", "1"]
+        )
+        assert args.orch_command == "solver-serve"
+        assert args.servers == 1

@@ -192,5 +192,68 @@ class TestPooledServiceIntegration:
         speculative.schedule.validate(require_complete=True)
 
 
+class TestParentDeathWatchdog:
+    def test_sigkilled_pool_owner_does_not_strand_servers(self, tmp_path):
+        """Solver servers must exit when their owner dies hard.
+
+        ``daemon=True`` only cleans children up on a *graceful* parent exit,
+        and under ``fork`` the child inherits the parent's end of its own
+        pipe, so SIGKILL of the owner produces neither atexit cleanup nor
+        pipe EOF.  The server loop's re-parenting watchdog is what keeps a
+        hard-killed ``solver-serve`` host from accumulating orphans.
+        """
+        import signal
+        import subprocess
+        import sys
+
+        script = (
+            "import time\n"
+            "from repro.solver.pool import SolverPool\n"
+            "pool = SolverPool(num_servers=1)\n"
+            "print(f'CHILD={pool._servers[0].process.pid}', flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        owner = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = owner.stdout.readline()
+            child_pid = int(line.strip().split("=", 1)[1])
+            os.kill(owner.pid, signal.SIGKILL)
+            owner.wait()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if _gone_or_zombie(child_pid):
+                    break
+                time.sleep(0.1)
+            assert _gone_or_zombie(child_pid), (
+                f"solver server {child_pid} survived SIGKILL of its owner"
+            )
+        finally:
+            if owner.poll() is None:
+                owner.kill()
+            owner.stdout.close()
+            try:
+                os.kill(child_pid, signal.SIGKILL)
+            except (ProcessLookupError, UnboundLocalError):
+                pass
+
+
+def _gone_or_zombie(pid: int) -> bool:
+    """True once *pid* has exited (reaped, or left as an unreaped zombie)."""
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            state = handle.read().rsplit(") ", 1)[1].split()[0]
+    except (FileNotFoundError, ProcessLookupError, IndexError):
+        return True
+    return state == "Z"
+
+
 def teardown_module(module):
     unregister_backend("chaos")
