@@ -1,0 +1,239 @@
+"""Benchmark the scheduling service: throughput vs concurrent clients.
+
+Measures two curves against an in-process :class:`ScheduleServer` over real
+TCP sockets:
+
+* **unique-heavy** — every request is a distinct instance, so each one must
+  be admitted, journaled, and solved: throughput as concurrent clients
+  grow measures the request pipeline (dispatch, journal writes, executor
+  claiming), not the solver.
+* **duplicate-heavy** — a small pool of instances submitted over and over:
+  most requests resolve at the submit-time cache probe, measuring the
+  content-hash cache path the millions-of-users story depends on.
+
+Every payload is checked against the inline solve — objectives must be
+byte-identical through the service.  Writes ``BENCH_sched_service.json``.
+On a single-core host the numbers are wiring checks, not measurements:
+``UNDERPOWERED_HOST`` is flagged in the artifact and CI asserts on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.baselines import lpt_schedule
+from repro.core.instance import Instance
+from repro.generators import uniform_random_instance
+from repro.service import ScheduleClient, ScheduleServer
+
+DEFAULT_CLIENT_CURVE = (1, 2, 4, 8)
+
+
+def build_workload(num_instances: int, *, seed: int = 0) -> list[Instance]:
+    """Distinct small instances (LPT-solved: the pipeline is the workload)."""
+    return [
+        uniform_random_instance(
+            num_jobs=24,
+            num_machines=4,
+            num_bags=6,
+            seed=seed + index,
+            name=f"bench-{seed}-{index}",
+        ).instance
+        for index in range(num_instances)
+    ]
+
+
+def _drain(
+    address: tuple[str, int],
+    token: str,
+    requests: list[Instance],
+    num_clients: int,
+) -> tuple[float, list[dict[str, Any]]]:
+    """Split ``requests`` across ``num_clients`` threads; returns wall time."""
+    host, port = address
+    payloads: list[dict[str, Any] | None] = [None] * len(requests)
+    errors: list[BaseException] = []
+
+    def run(client_index: int) -> None:
+        try:
+            with ScheduleClient(f"{host}:{port}", token=token) as client:
+                for index in range(client_index, len(requests), num_clients):
+                    payloads[index] = client.submit(requests[index], "lpt")
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(num_clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"client failures: {errors[:3]}")
+    assert all(payload is not None for payload in payloads)
+    return wall, payloads  # type: ignore[return-value]
+
+
+def run_benchmark(
+    *,
+    num_instances: int = 32,
+    client_curve: tuple[int, ...] = DEFAULT_CLIENT_CURVE,
+    duplicate_factor: int = 4,
+    executors: int = 2,
+    seed: int = 0,
+) -> dict[str, Any]:
+    cpu_count = os.cpu_count() or 1
+    results: dict[str, Any] = {
+        "benchmark": "sched_service",
+        "cpu_count": cpu_count,
+        "num_instances": num_instances,
+        "executors": executors,
+        "UNDERPOWERED_HOST": cpu_count < 2,
+        "unique_heavy": [],
+        "duplicate_heavy": [],
+    }
+    instances = build_workload(num_instances, seed=seed)
+    inline = {
+        instance.name: float(lpt_schedule(instance).makespan)
+        for instance in instances
+    }
+    objectives_identical = True
+
+    for num_clients in client_curve:
+        # Fresh journal per point so earlier points' cache entries cannot
+        # flatter later ones.
+        with tempfile.TemporaryDirectory() as tmp:
+            server = ScheduleServer(
+                Path(tmp) / "sched.db",
+                port=0,
+                token="bench",
+                executors=executors,
+            ).start()
+            try:
+                wall, payloads = _drain(
+                    server.address, "bench", instances, num_clients
+                )
+                telemetry = server.telemetry()
+            finally:
+                server.shutdown()
+        for instance, payload in zip(instances, payloads):
+            if payload["makespan"] != inline[instance.name]:
+                objectives_identical = False
+        results["unique_heavy"].append(
+            {
+                "clients": num_clients,
+                "requests": len(instances),
+                "wall_time_s": wall,
+                "throughput_rps": len(instances) / wall if wall else 0.0,
+                "solves": telemetry["solves"],
+                "cache_hits": telemetry["cache_hits"],
+            }
+        )
+
+    # Duplicate-heavy: the same small pool submitted duplicate_factor times
+    # over — most requests should resolve at the submit-time cache probe.
+    pool = instances[: max(1, num_instances // duplicate_factor)]
+    duplicated = pool * duplicate_factor
+    for num_clients in client_curve:
+        with tempfile.TemporaryDirectory() as tmp:
+            server = ScheduleServer(
+                Path(tmp) / "sched.db",
+                port=0,
+                token="bench",
+                executors=executors,
+            ).start()
+            try:
+                wall, payloads = _drain(
+                    server.address, "bench", duplicated, num_clients
+                )
+                telemetry = server.telemetry()
+            finally:
+                server.shutdown()
+        for instance, payload in zip(duplicated, payloads):
+            if payload["makespan"] != inline[instance.name]:
+                objectives_identical = False
+        results["duplicate_heavy"].append(
+            {
+                "clients": num_clients,
+                "requests": len(duplicated),
+                "unique_instances": len(pool),
+                "wall_time_s": wall,
+                "throughput_rps": len(duplicated) / wall if wall else 0.0,
+                "solves": telemetry["solves"],
+                "cache_hits": telemetry["cache_hits"],
+                "cache_hit_rate": telemetry["cache_hits"] / len(duplicated),
+            }
+        )
+
+    results["objectives_identical"] = objectives_identical
+    results["best_unique_throughput_rps"] = max(
+        point["throughput_rps"] for point in results["unique_heavy"]
+    )
+    results["best_duplicate_throughput_rps"] = max(
+        point["throughput_rps"] for point in results["duplicate_heavy"]
+    )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-instances", type=int, default=32)
+    parser.add_argument(
+        "--clients",
+        type=lambda text: tuple(int(part) for part in text.split(",")),
+        default=DEFAULT_CLIENT_CURVE,
+        help="comma-separated concurrent-client counts (default: 1,2,4,8)",
+    )
+    parser.add_argument("--duplicate-factor", type=int, default=4)
+    parser.add_argument("--executors", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_sched_service.json")
+    )
+    args = parser.parse_args(argv)
+    results = run_benchmark(
+        num_instances=args.num_instances,
+        client_curve=args.clients,
+        duplicate_factor=args.duplicate_factor,
+        executors=args.executors,
+        seed=args.seed,
+    )
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for point in results["unique_heavy"]:
+        print(
+            f"unique    clients={point['clients']:>2} "
+            f"{point['throughput_rps']:8.1f} req/s "
+            f"({point['solves']} solves)"
+        )
+    for point in results["duplicate_heavy"]:
+        print(
+            f"duplicate clients={point['clients']:>2} "
+            f"{point['throughput_rps']:8.1f} req/s "
+            f"(hit rate {point['cache_hit_rate']:.0%})"
+        )
+    print(f"objectives identical: {results['objectives_identical']}")
+    return 0 if results["objectives_identical"] else 1
+
+
+def test_sched_service_benchmark_smoke(tmp_path: Path) -> None:
+    """Tiny end-to-end wiring check (runs in CI's smoke job, not tier-1)."""
+    results = run_benchmark(
+        num_instances=4, client_curve=(1, 2), duplicate_factor=2, executors=1
+    )
+    assert results["objectives_identical"]
+    assert all(point["solves"] == 4 for point in results["unique_heavy"])
+    duplicate = results["duplicate_heavy"][-1]
+    assert duplicate["solves"] == duplicate["unique_instances"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

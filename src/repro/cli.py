@@ -266,6 +266,112 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0 = one per CPU core)",
     )
 
+    orch_schedule_serve = orch_sub.add_parser(
+        "schedule-serve",
+        help="long-running scheduling service: accept ad-hoc instances from "
+        "many concurrent clients, cache-probe, cost-model admission, "
+        "journaled execution (crash-safe resume)",
+    )
+    _add_db(orch_schedule_serve)
+    orch_schedule_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: loopback only; pass 0.0.0.0 to "
+        "accept remote clients — set a --token when you do)",
+    )
+    orch_schedule_serve.add_argument(
+        "--port",
+        type=int,
+        # Mirrors repro.service.DEFAULT_SCHEDULE_PORT; literal here so
+        # building the parser never imports the service stack.
+        default=7481,
+        help="TCP port (default: 7481; 0 = ephemeral, printed on startup)",
+    )
+    orch_schedule_serve.add_argument(
+        "--token",
+        default=None,
+        help="shared secret required on every request "
+        "(default: $REPRO_ORCH_TOKEN; unset = no auth)",
+    )
+    orch_schedule_serve.add_argument(
+        "--executors",
+        type=int,
+        default=2,
+        help="executor threads draining the request journal (default: 2)",
+    )
+    orch_schedule_serve.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="admission budget: reject requests whose cost-model expected "
+        "duration exceeds this many seconds (default: admit everything)",
+    )
+    orch_schedule_serve.add_argument(
+        "--solver-servers",
+        type=int,
+        default=0,
+        help="subprocess solver servers for MILP-backed solves "
+        "(0 = solve MILPs inline)",
+    )
+    orch_schedule_serve.add_argument(
+        "--solver-connect",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="route MILP solves to remote `repro orch solver-serve` "
+        "endpoints instead of a local pool (mutually exclusive with "
+        "--solver-servers); auth uses the same --token",
+    )
+
+    orch_submit = orch_sub.add_parser(
+        "submit",
+        help="submit instance JSON files to a `repro orch schedule-serve` "
+        "service and print the solved results",
+    )
+    orch_submit.add_argument(
+        "instances",
+        nargs="+",
+        type=Path,
+        help="instance JSON paths (Instance.save format, e.g. from "
+        "`repro generate`)",
+    )
+    orch_submit.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST[:PORT]",
+        help="schedule service address (port defaults to 7481; "
+        "tcp:// prefix optional)",
+    )
+    orch_submit.add_argument(
+        "--token",
+        default=None,
+        help="shared secret of the service (default: $REPRO_ORCH_TOKEN)",
+    )
+    orch_submit.add_argument(
+        "--solver",
+        choices=sorted(SOLVERS),
+        default="lpt",
+        help="solver to request (default: lpt)",
+    )
+    orch_submit.add_argument(
+        "--eps",
+        type=float,
+        default=0.25,
+        help="accuracy for eps-aware solvers (default: 0.25)",
+    )
+    orch_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-request round-trip timeout in seconds — must cover a "
+        "whole queued solve (default: 300)",
+    )
+    orch_submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object per instance instead of a summary line",
+    )
+
     orch_worker = orch_sub.add_parser(
         "worker",
         help="attach to a `repro orch serve` store and drain pending rows "
@@ -754,6 +860,93 @@ def _cmd_orch_solver_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_orch_schedule_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import ScheduleServer
+    from .solver.service import solver_service_scope
+
+    token = _orch_token(args)
+    if token is None and args.host not in ("127.0.0.1", "localhost", "::1"):
+        print(
+            "warning: serving a non-loopback interface without --token — "
+            "any network peer can submit solves to this machine",
+            file=sys.stderr,
+        )
+    solver_connect = _resolve_solver_connect(args)
+    if args.executors < 1:
+        raise SystemExit("error: --executors must be >= 1")
+
+    def _stop(signum: int, frame: object) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _stop)
+    # The solver scope wraps the whole server lifetime: executor threads
+    # pick up the ambient SolverService (pool or fabric) at solve time.
+    with solver_service_scope(args.solver_servers, solver_connect, token=token):
+        server = ScheduleServer(
+            _orch_db_path(args),
+            host=args.host,
+            port=args.port,
+            token=token,
+            executors=args.executors,
+            budget=args.budget,
+        )
+        print(
+            f"scheduling service on {server.url} "
+            f"(journal {_orch_db_path(args)}, {args.executors} executors"
+            + (f", budget {args.budget:g}s" if args.budget is not None else "")
+            + (", token auth)" if token else ", no auth)")
+            + (
+                f"; resumed {server.resumed} in-flight requests"
+                if server.resumed
+                else ""
+            ),
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            print("scheduling service stopped", flush=True)
+    return 0
+
+
+def _cmd_orch_submit(args: argparse.Namespace) -> int:
+    from .core.errors import ReproError
+    from .service import AdmissionError, ScheduleClient
+
+    code = 0
+    with ScheduleClient(
+        args.connect, token=_orch_token(args), timeout=args.timeout
+    ) as client:
+        for path in args.instances:
+            try:
+                instance = Instance.load(path)
+            except (OSError, ValueError, KeyError, TypeError, ReproError) as exc:
+                print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+                code = 1
+                continue
+            try:
+                payload = client.submit(instance, args.solver, eps=args.eps)
+            except AdmissionError as exc:
+                print(f"{path}: rejected at admission: {exc}", file=sys.stderr)
+                code = 1
+                continue
+            if args.json:
+                print(json.dumps({"instance": str(path), **payload}))
+            else:
+                hit = " (cache hit)" if payload.get("cache_hit") else ""
+                print(
+                    f"{path}: makespan={payload['makespan']:.6g} "
+                    f"solver={payload['solver']} "
+                    f"wall_time={payload['wall_time']:.3g}s{hit}"
+                )
+    return code
+
+
 def _cmd_orch_worker(args: argparse.Namespace) -> int:
     from .orchestration import run_workers
 
@@ -838,7 +1031,12 @@ def _cmd_orch_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_orch_status(args: argparse.Namespace) -> int:
-    from .orchestration.export import aggregate_solver_telemetry, format_solver_telemetry
+    from .orchestration.export import (
+        aggregate_service_telemetry,
+        aggregate_solver_telemetry,
+        format_service_telemetry,
+        format_solver_telemetry,
+    )
 
     with _open_cli_store(args) as store:
         counts = store.status_counts()
@@ -853,6 +1051,7 @@ def _cmd_orch_status(args: argparse.Namespace) -> int:
             for row in store.fetch_rows(experiment, status="done")
         ]
     solver_totals = aggregate_solver_telemetry(done_rows)
+    service_totals = aggregate_service_telemetry(done_rows)
     table = ExperimentTable("orch", f"store status ({_store_label(args)})")
     for experiment in sorted(counts):
         per_status = counts[experiment]
@@ -872,6 +1071,18 @@ def _cmd_orch_status(args: argparse.Namespace) -> int:
     )
     if solver_totals:
         table.add_note(format_solver_telemetry(solver_totals))
+    # "service" is the scheduling service's request journal namespace
+    # (repro.service.SERVICE_EXPERIMENT); literal so status never imports
+    # the solver stack just to print counts.
+    service_counts = counts.get("service")
+    if service_counts:
+        table.add_note(
+            "service queue: "
+            f"{service_counts.get('pending', 0)} pending, "
+            f"{service_counts.get('running', 0)} running"
+        )
+    if service_totals:
+        table.add_note(format_service_telemetry(service_totals))
     print(table.to_text())
     return 0
 
@@ -939,18 +1150,25 @@ def _cmd_orch_export(args: argparse.Namespace) -> int:
 
     with _open_cli_store(args) as store:
         in_store = store.experiments()
-        # prereq rows are scheduling infrastructure, not an experiment table;
-        # export them only when named explicitly.
+        # prereq rows are scheduling infrastructure, and "service" rows are
+        # the scheduling service's ad-hoc request journal — neither is an
+        # experiment table; export them only when named explicitly.
         from .orchestration.planner import PREREQ_EXPERIMENT
 
         names = args.experiments or [
-            name for name in in_store if name != PREREQ_EXPERIMENT
+            name for name in in_store if name not in (PREREQ_EXPERIMENT, "service")
         ]
         if not names:
             print("store is empty; run `repro orch run` first", file=sys.stderr)
             return 1
         code = 0
         for name in names:
+            if name == "service":
+                from .orchestration.export import render_table, service_table
+
+                print(render_table(service_table(store), args.fmt))
+                print()
+                continue
             try:
                 spec_name = registry.get_spec(name).name
             except KeyError:
@@ -987,6 +1205,8 @@ _ORCH_HANDLERS = {
     "run": _cmd_orch_run,
     "serve": _cmd_orch_serve,
     "solver-serve": _cmd_orch_solver_serve,
+    "schedule-serve": _cmd_orch_schedule_serve,
+    "submit": _cmd_orch_submit,
     "worker": _cmd_orch_worker,
     "plan": _cmd_orch_plan,
     "status": _cmd_orch_status,

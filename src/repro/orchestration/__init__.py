@@ -40,10 +40,13 @@ from . import export, registry
 from .cache import (
     activate_cache,
     active_cache,
+    cache_key,
     cached_payload,
     cached_solve,
     deactivate_cache,
     instance_digest,
+    set_memo_limit,
+    summarise_result,
 )
 from .planner import (
     PREREQ_EXPERIMENT,
@@ -76,6 +79,7 @@ __all__ = [
     "activate_cache",
     "active_cache",
     "apply_gate_boosts",
+    "cache_key",
     "cached_payload",
     "cached_solve",
     "canonical_params",
@@ -96,6 +100,8 @@ __all__ = [
     "run_worker",
     "run_workers",
     "save_priors",
+    "set_memo_limit",
     "simulate_makespan",
     "spec_names",
+    "summarise_result",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Mapping
 
@@ -34,6 +35,7 @@ from ..core.result import SolverResult
 from .store import ExperimentStore, _to_jsonable
 
 __all__ = [
+    "DEFAULT_MEMO_ENTRIES",
     "activate_cache",
     "deactivate_cache",
     "active_cache",
@@ -43,13 +45,25 @@ __all__ = [
     "clear_memo",
     "instance_digest",
     "memo_stats",
+    "set_memo_limit",
+    "summarise_result",
 ]
 
-_memo: dict[str, dict[str, Any]] = {}
+# The in-process memo is LRU-bounded: one grid run never feels the cap, but
+# a forever-lived process (the scheduling service) must not grow a dict per
+# distinct instance it has ever seen.  Adjustable via set_memo_limit.
+DEFAULT_MEMO_ENTRIES = 4096
+
+_memo: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
 _memo_hits = 0
+_memo_limit = DEFAULT_MEMO_ENTRIES
 # The persistent layer: a local ExperimentStore, or any store-shaped object
 # installed via cache_scope (a RemoteStore in distributed workers).
 _active: Any = None
+# Whether *this module* opened _active (and therefore must close it).  A
+# caller-owned store installed via cache_scope is never closed here — its
+# owner may be sharing the connection with claim/complete traffic.
+_active_owned = False
 _env_checked = False
 
 ENV_CACHE_DB = "REPRO_CACHE_DB"
@@ -93,10 +107,11 @@ def cache_key(
 
 def activate_cache(path: str | os.PathLike[str]) -> ExperimentStore:
     """Point this process's persistent cache layer at a store file."""
-    global _active
-    if _active is not None:
+    global _active, _active_owned
+    if _active is not None and _active_owned:
         _active.close()
     _active = ExperimentStore(path)
+    _active_owned = True
     return _active
 
 
@@ -120,8 +135,8 @@ def cache_scope(
     inside a larger process (library use, tests) leaves the ambient cache
     untouched.
     """
-    global _active, _env_checked
-    prev_active, prev_checked = _active, _env_checked
+    global _active, _active_owned, _env_checked
+    prev_active, prev_owned, prev_checked = _active, _active_owned, _env_checked
     owned: ExperimentStore | None = None
     if target is None:
         store = None
@@ -130,33 +145,37 @@ def cache_scope(
     else:
         store = owned = ExperimentStore(target)
     _active = store
+    _active_owned = owned is not None
     _env_checked = True  # pin: no lazy env activation while the scope holds
     try:
         yield store
     finally:
         if _active is store:
             _active = prev_active
+            _active_owned = prev_owned
             _env_checked = prev_checked
         if owned is not None:
             owned.close()
 
 
 def deactivate_cache() -> None:
-    global _active, _env_checked
-    if _active is not None:
+    global _active, _active_owned, _env_checked
+    if _active is not None and _active_owned:
         _active.close()
     _active = None
+    _active_owned = False
     _env_checked = True  # an explicit deactivate also disables the env fallback
 
 
 def active_cache() -> Any:
     """The persistent cache layer, lazily honouring ``REPRO_CACHE_DB``."""
-    global _active, _env_checked
+    global _active, _active_owned, _env_checked
     if _active is None and not _env_checked:
         _env_checked = True
         env_path = os.environ.get(ENV_CACHE_DB)
         if env_path:
             _active = ExperimentStore(env_path)
+            _active_owned = True
     return _active
 
 
@@ -166,11 +185,36 @@ def clear_memo() -> None:
     _memo_hits = 0
 
 
+def set_memo_limit(limit: int) -> None:
+    """Cap the in-process memo at ``limit`` entries (LRU eviction)."""
+    global _memo_limit
+    if limit < 1:
+        raise ValueError(f"memo limit must be >= 1, got {limit}")
+    _memo_limit = limit
+    while len(_memo) > _memo_limit:
+        _memo.popitem(last=False)
+
+
 def memo_stats() -> dict[str, int]:
     return {"entries": len(_memo), "hits": _memo_hits}
 
 
-def _summarise(result: SolverResult) -> dict[str, Any]:
+def _memo_get(key: str) -> dict[str, Any] | None:
+    hit = _memo.get(key)
+    if hit is not None:
+        _memo.move_to_end(key)
+    return hit
+
+
+def _memo_put(key: str, payload: dict[str, Any]) -> None:
+    _memo[key] = payload
+    _memo.move_to_end(key)
+    while len(_memo) > _memo_limit:
+        _memo.popitem(last=False)
+
+
+def summarise_result(result: SolverResult) -> dict[str, Any]:
+    """The standard JSON summary payload for one solve (what gets cached)."""
     return {
         "makespan": float(result.makespan),
         "wall_time": float(result.wall_time),
@@ -178,6 +222,9 @@ def _summarise(result: SolverResult) -> dict[str, Any]:
         "solver": result.solver,
         "diagnostics": _to_jsonable(result.diagnostics),
     }
+
+
+_summarise = summarise_result
 
 
 def cached_payload(
@@ -197,12 +244,15 @@ def cached_payload(
     prerequisite's result actually landed in the cache.
     """
     key = cache_key(instance, solver, config, backend=backend)
-    hit = _memo.get(key)
+    hit = _memo_get(key)
     if hit is not None:
         return dict(hit)
     store = active_cache()
     if store is not None:
-        return store.cache_get(key)
+        payload = store.cache_get(key)
+        if payload is not None:
+            _memo_put(key, payload)
+            return dict(payload)
     return None
 
 
@@ -226,7 +276,7 @@ def cached_solve(
     """
     global _memo_hits
     key = cache_key(instance, solver, config, backend=backend)
-    hit = _memo.get(key)
+    hit = _memo_get(key)
     if hit is not None:
         _memo_hits += 1
         return {**hit, "cache_hit": True}
@@ -234,13 +284,13 @@ def cached_solve(
     if store is not None:
         payload = store.cache_get(key)
         if payload is not None:
-            _memo[key] = payload
+            _memo_put(key, payload)
             return {**payload, "cache_hit": True}
     result = compute()
-    payload = _summarise(result)
+    payload = summarise_result(result)
     if extra is not None:
         payload.update(_to_jsonable(extra(result)))
-    _memo[key] = payload
+    _memo_put(key, payload)
     if store is not None:
         store.cache_put(key, solver, payload)
     return {**payload, "cache_hit": False}

@@ -25,8 +25,11 @@ __all__ = [
     "render_table",
     "to_latex",
     "export_experiment",
+    "aggregate_service_telemetry",
     "aggregate_solver_telemetry",
+    "format_service_telemetry",
     "format_solver_telemetry",
+    "service_table",
     "FORMATS",
 ]
 
@@ -149,6 +152,83 @@ def format_solver_telemetry(totals: dict[str, Any]) -> str:
 def _solver_telemetry_note(done_rows: list[Any]) -> str | None:
     totals = aggregate_solver_telemetry(done_rows)
     return format_solver_telemetry(totals) if totals else None
+
+
+def aggregate_service_telemetry(done_rows: list[Any]) -> dict[str, int] | None:
+    """Sum the per-request ``_service_telemetry`` deltas of completed rows.
+
+    The scheduling service (:mod:`repro.service`) flushes its counter
+    deltas — requests seen, admitted, rejected at admission, served from
+    cache, actually solved — into each journal row it completes, the same
+    per-row-delta convention the runner uses for ``_solver_telemetry``, so
+    summing over done rows reconstructs the service totals from the store
+    file alone.  Returns ``None`` when no row carries service telemetry.
+    """
+    totals = {"requests": 0, "admitted": 0, "rejected": 0, "cache_hits": 0, "solves": 0}
+    seen = False
+    for row in done_rows:
+        # Literal key (not imported from repro.service): export must render
+        # stores written by any service version without importing solvers.
+        payload = (row.result or {}).get("_service_telemetry")
+        if not isinstance(payload, dict):
+            continue
+        seen = True
+        for key in totals:
+            totals[key] += int(payload.get(key, 0))
+    return totals if seen else None
+
+
+def format_service_telemetry(totals: dict[str, int]) -> str:
+    """One-line rollup of :func:`aggregate_service_telemetry` totals."""
+    return (
+        f"service telemetry: {totals['requests']} requests "
+        f"({totals['admitted']} admitted, {totals['rejected']} rejected), "
+        f"{totals['cache_hits']} cache hits, {totals['solves']} solves"
+    )
+
+
+def service_table(store: "StoreProtocol") -> ExperimentTable:
+    """Per-solver rollup of the scheduling service's ``service`` journal.
+
+    The ``service`` namespace is ad-hoc request history, not a registered
+    experiment grid, so it gets its own table: one row per solver with
+    request/error counts and duration statistics, plus the telemetry note.
+    """
+    rows = store.fetch_rows("service")
+    table = ExperimentTable("service", "scheduling service request journal")
+    per_solver: dict[str, dict[str, Any]] = {}
+    for row in rows:
+        solver = str((row.params or {}).get("solver", "?"))
+        bucket = per_solver.setdefault(
+            solver, {"requests": 0, "done": 0, "errors": 0, "durations": []}
+        )
+        bucket["requests"] += 1
+        if row.status == "done":
+            bucket["done"] += 1
+            if row.duration is not None:
+                bucket["durations"].append(float(row.duration))
+        elif row.status == "error":
+            bucket["errors"] += 1
+    for solver in sorted(per_solver):
+        bucket = per_solver[solver]
+        durations = bucket["durations"]
+        table.add_row(
+            {
+                "solver": solver,
+                "requests": bucket["requests"],
+                "done": bucket["done"],
+                "errors": bucket["errors"],
+                "mean_duration_s": (sum(durations) / len(durations)) if durations else None,
+                "max_duration_s": max(durations) if durations else None,
+            }
+        )
+    done_rows = [row for row in rows if row.status == "done"]
+    totals = aggregate_service_telemetry(done_rows)
+    if totals:
+        table.add_note(format_service_telemetry(totals))
+    if not rows:
+        table.add_note("no service requests journaled in this store")
+    return table
 
 
 def _scheduling_note(done_rows: list[Any]) -> str | None:

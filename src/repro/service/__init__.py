@@ -1,0 +1,50 @@
+"""Scheduling-as-a-service: ad-hoc solves for many concurrent clients.
+
+The millions-of-users front door of the orchestration stack
+(``repro orch schedule-serve`` / ``repro orch submit``): a long-running
+:class:`ScheduleServer` on the :mod:`repro.distributed` frame protocol that
+accepts arbitrary scheduling instances, probes the content-hash result
+cache, gates admission on a :class:`~repro.orchestration.scheduling.CostModel`
+duration prediction, journals accepted requests into an
+:class:`~repro.orchestration.store.ExperimentStore` (the ``service``
+namespace), and executes them on a pool of executor threads — through a
+local :class:`~repro.solver.SolverService` pool or remote fabric endpoints
+when the CLI installs one.  See ``docs/scheduling-service.md``.
+"""
+
+from .client import ScheduleClient, ScheduleConnectionError
+from .requests import (
+    DEFAULT_EPS,
+    DEFAULT_SCHEDULE_PORT,
+    SCHEDULE_PROTOCOL_VERSION,
+    SCHEDULE_RPC_METHODS,
+    SERVICE_EXPERIMENT,
+    SERVICE_TELEMETRY_KEY,
+    SOLVER_ROSTER,
+    AdmissionError,
+    ScheduleRequest,
+    cost_experiment,
+    execute_request,
+    normalise_request,
+    parse_schedule_endpoint,
+)
+from .server import ScheduleServer
+
+__all__ = [
+    "AdmissionError",
+    "DEFAULT_EPS",
+    "DEFAULT_SCHEDULE_PORT",
+    "SCHEDULE_PROTOCOL_VERSION",
+    "SCHEDULE_RPC_METHODS",
+    "SERVICE_EXPERIMENT",
+    "SERVICE_TELEMETRY_KEY",
+    "SOLVER_ROSTER",
+    "ScheduleClient",
+    "ScheduleConnectionError",
+    "ScheduleRequest",
+    "ScheduleServer",
+    "cost_experiment",
+    "execute_request",
+    "normalise_request",
+    "parse_schedule_endpoint",
+]

@@ -1,0 +1,223 @@
+"""Request model of the scheduling service.
+
+One submission is ``(instance, solver, eps)``.  This module owns its whole
+lifecycle *except* transport and queueing: validation/canonicalisation from
+wire params (:func:`normalise_request`), the content-hash cache key (built
+with :func:`repro.orchestration.cache.cache_key` using the same
+solver-name/config/backend conventions as the experiment grids, so the
+service shares cache entries with grid runs where the rosters overlap),
+the journal row parameters persisted into the ``service`` experiment
+namespace, and inline execution (:func:`execute_request`).
+
+The solver roster mirrors the CLI's ``repro solve`` table: every solver
+takes ``(instance, eps)``; combinatorial solvers ignore ``eps`` and omit it
+from their cache keys, MILP-backed solvers fold the backend-registry
+fingerprint in so a scipy upgrade never replays stale results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..baselines import (
+    coloring_schedule,
+    das_wiese_schedule,
+    first_fit_schedule,
+    greedy_schedule,
+    local_search_schedule,
+    lpt_schedule,
+)
+from ..baselines.das_wiese import DasWieseConfig
+from ..core.errors import ReproError
+from ..core.instance import Instance
+from ..core.result import SolverResult
+from ..eptas import eptas_schedule
+from ..eptas.params import EptasConfig
+from ..exact import ExactMilpConfig, exact_schedule
+from ..orchestration.cache import cache_key, summarise_result
+
+__all__ = [
+    "AdmissionError",
+    "DEFAULT_EPS",
+    "DEFAULT_SCHEDULE_PORT",
+    "SCHEDULE_PROTOCOL_VERSION",
+    "SCHEDULE_RPC_METHODS",
+    "SERVICE_EXPERIMENT",
+    "SERVICE_TELEMETRY_KEY",
+    "SOLVER_ROSTER",
+    "ScheduleRequest",
+    "cost_experiment",
+    "execute_request",
+    "normalise_request",
+    "parse_schedule_endpoint",
+]
+
+SCHEDULE_PROTOCOL_VERSION = 1
+DEFAULT_SCHEDULE_PORT = 7481
+SCHEDULE_RPC_METHODS = frozenset({"ping", "schedule_info", "submit"})
+
+# The journal namespace inside the service's ExperimentStore.  It reuses the
+# store's claim/complete/reclaim machinery verbatim, but is not a registered
+# experiment spec — status/export special-case it.
+SERVICE_EXPERIMENT = "service"
+# Per-request counter deltas stashed in completed journal rows (mirrors the
+# runner's "_solver_telemetry" convention) so `orch export service` can roll
+# admitted/rejected/cache-hit totals up from any store file.
+SERVICE_TELEMETRY_KEY = "_service_telemetry"
+DEFAULT_EPS = 0.25
+
+
+class AdmissionError(ReproError):
+    """Request rejected at admission: expected cost exceeds the budget."""
+
+
+@dataclass(frozen=True)
+class _RosterEntry:
+    """One servable solver: how to run it and how to key its cache entries."""
+
+    run: Callable[[Instance, float], SolverResult]
+    uses_eps: bool = False
+    backend: Callable[[float], Any] | None = field(default=None)
+
+
+SOLVER_ROSTER: dict[str, _RosterEntry] = {
+    "greedy": _RosterEntry(lambda instance, eps: greedy_schedule(instance)),
+    "first-fit": _RosterEntry(lambda instance, eps: first_fit_schedule(instance)),
+    "lpt": _RosterEntry(lambda instance, eps: lpt_schedule(instance)),
+    "local-search": _RosterEntry(lambda instance, eps: local_search_schedule(instance)),
+    "coloring": _RosterEntry(lambda instance, eps: coloring_schedule(instance)),
+    "das-wiese": _RosterEntry(
+        lambda instance, eps: das_wiese_schedule(instance, eps=eps),
+        uses_eps=True,
+        backend=lambda eps: DasWieseConfig(eps=eps).backend_spec,
+    ),
+    "eptas": _RosterEntry(
+        lambda instance, eps: eptas_schedule(instance, eps=eps),
+        uses_eps=True,
+        backend=lambda eps: EptasConfig(eps=eps).backend_spec,
+    ),
+    "exact": _RosterEntry(
+        lambda instance, eps: exact_schedule(instance),
+        backend=lambda eps: ExactMilpConfig().backend_spec,
+    ),
+}
+
+
+def cost_experiment(solver: str) -> str:
+    """Cost-model namespace for one solver's duration history.
+
+    Namespaced per solver (not one bucket for the whole service): an LPT
+    call and an exact MILP differ by orders of magnitude, and the admission
+    gate is only as good as the expectation it compares to the budget.
+    """
+    return f"service:{solver}"
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """A validated, canonicalised submission."""
+
+    instance: Instance
+    solver: str
+    eps: float = DEFAULT_EPS
+
+    @property
+    def config(self) -> dict[str, Any] | None:
+        """Cache-key config: ``eps`` only where the solver consumes it."""
+        if SOLVER_ROSTER[self.solver].uses_eps:
+            return {"eps": self.eps}
+        return None
+
+    def cache_key(self) -> str:
+        entry = SOLVER_ROSTER[self.solver]
+        backend = entry.backend(self.eps) if entry.backend is not None else None
+        return cache_key(self.instance, self.solver, self.config, backend=backend)
+
+    def journal_params(self) -> dict[str, Any]:
+        """The JSON row persisted in the ``service`` journal namespace.
+
+        Always carries ``eps`` (even for solvers that ignore it) so a row
+        round-trips back into an identical :class:`ScheduleRequest` on
+        resume; the *cache key* still omits it where irrelevant.
+        """
+        return {
+            "instance": self.instance.to_dict(),
+            "solver": self.solver,
+            "config": {"eps": self.eps},
+        }
+
+
+def normalise_request(params: Mapping[str, Any]) -> ScheduleRequest:
+    """Validate wire/journal params into a :class:`ScheduleRequest`.
+
+    Raises ``ValueError`` on anything malformed — the RPC layer turns that
+    into a structured error reply, so a garbage submission never kills the
+    connection (or the server).
+    """
+    if not isinstance(params, Mapping):
+        raise ValueError("submit params must be an object")
+    solver = params.get("solver", "lpt")
+    if not isinstance(solver, str) or solver not in SOLVER_ROSTER:
+        raise ValueError(
+            f"unknown solver {solver!r}; expected one of {sorted(SOLVER_ROSTER)}"
+        )
+    config = params.get("config") or {}
+    if not isinstance(config, Mapping):
+        raise ValueError("config must be an object")
+    eps = config.get("eps", DEFAULT_EPS)
+    try:
+        eps = float(eps)
+    except (TypeError, ValueError):
+        raise ValueError(f"eps must be a number, got {eps!r}") from None
+    if not 0 < eps <= 1:
+        raise ValueError(f"eps must lie in (0, 1], got {eps}")
+    raw_instance = params.get("instance")
+    if not isinstance(raw_instance, Mapping):
+        raise ValueError("instance must be an object (Instance.to_dict form)")
+    try:
+        instance = Instance.from_dict(raw_instance)
+    except Exception as exc:
+        raise ValueError(f"invalid instance: {exc}") from exc
+    return ScheduleRequest(instance=instance, solver=solver, eps=eps)
+
+
+def execute_request(request: ScheduleRequest) -> tuple[dict[str, Any], float]:
+    """Run the solve inline; return ``(summary payload, wall seconds)``.
+
+    The payload is the standard cache summary
+    (:func:`repro.orchestration.cache.summarise_result`), which is what gets
+    journaled, cached, and returned to clients.
+    """
+    started = time.perf_counter()
+    result = SOLVER_ROSTER[request.solver].run(request.instance, request.eps)
+    duration = time.perf_counter() - started
+    return summarise_result(result), duration
+
+
+def parse_schedule_endpoint(target: str) -> tuple[str, int]:
+    """Parse ``HOST[:PORT]`` (or ``tcp://HOST[:PORT]``), defaulting the port.
+
+    Unlike the store's ``parse_address`` the port is optional — schedule
+    services overwhelmingly sit on :data:`DEFAULT_SCHEDULE_PORT`.
+    """
+    spec = target.strip()
+    if spec.startswith("tcp://"):
+        spec = spec[len("tcp://") :]
+    if not spec:
+        raise ValueError(f"empty schedule endpoint in {target!r}")
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        return spec, DEFAULT_SCHEDULE_PORT
+    if not host:
+        raise ValueError(f"missing host in schedule endpoint {target!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid port {port_text!r} in schedule endpoint {target!r}"
+        ) from None
+    if not 0 < port < 65536:
+        raise ValueError(f"port out of range in schedule endpoint {target!r}")
+    return host, port

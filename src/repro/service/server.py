@@ -1,0 +1,344 @@
+"""The scheduling service: ad-hoc solves over the framed RPC protocol.
+
+:class:`ScheduleServer` subclasses :class:`repro.distributed.rpc.RpcServer`
+(token auth, typed error replies, op-id replay) with concurrent dispatch —
+a solve blocks its handler thread, so handlers must overlap.  Each ``submit``
+flows through three gates:
+
+1. **Cache probe** — the request's content-hash key against the store's
+   result cache; a duplicate submission (even under a different instance
+   name) returns the cached payload without a second solve.
+2. **Admission** — :class:`repro.orchestration.scheduling.CostModel`
+   predicts the expected duration from this service's own completion
+   history (per-solver namespaces, see
+   :func:`~repro.service.requests.cost_experiment`); above ``budget`` the
+   request is rejected with a typed ``AdmissionError`` reply.
+3. **Journal + execute** — the request becomes a row in the ``service``
+   experiment namespace of an :class:`ExperimentStore` (idempotent
+   ``add_rows``), prioritised shortest-expected-first (longest-expected
+   requests queue *last*), and a pool of executor threads claims rows via
+   the store's atomic ``claim_next``.  The handler parks on a condition
+   until its row completes.
+
+The journal is what makes the service crash-safe: a SIGKILL leaves claimed
+rows ``running``; on restart :meth:`ScheduleServer.__init__` calls
+``reclaim_stale`` so executors re-run them, and a client retrying with its
+original op id either gets the recorded reply (op cache) or re-parks on the
+journaled row — never a second solve of already-cached work.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Mapping
+
+from ..distributed.rpc import RpcServer
+from ..orchestration.scheduling import CostModel
+from ..orchestration.store import ExperimentStore, params_hash
+from .requests import (
+    SCHEDULE_PROTOCOL_VERSION,
+    SCHEDULE_RPC_METHODS,
+    SERVICE_EXPERIMENT,
+    SERVICE_TELEMETRY_KEY,
+    AdmissionError,
+    cost_experiment,
+    execute_request,
+    normalise_request,
+)
+
+__all__ = ["ScheduleServer"]
+
+_TELEMETRY_KEYS = ("requests", "admitted", "rejected", "cache_hits", "solves")
+
+
+class ServerClosed(Exception):
+    """Raised into handlers parked on a shutting-down service.
+
+    The *name* is load-bearing: error replies carry ``type(exc).__name__``,
+    and clients treat ``"ServerClosed"`` as a retryable transport condition
+    — a submit interrupted by a restart is replayed (same op id) against
+    the replacement server, which finds the journaled row and resumes
+    waiting instead of solving twice.
+    """
+
+
+class ScheduleServer(RpcServer):
+    """Long-running scheduling service over one journal store.
+
+    ``db`` is the journal/cache store file (created if missing) — owned by
+    the server, closed on shutdown.  ``executors`` threads drain the
+    journal; ``budget`` (seconds of expected duration) enables cost-model
+    admission when set.  Construction reclaims rows stranded ``running`` by
+    a killed predecessor and re-fits the cost model from the journal's own
+    duration history, so resume needs no warm-up traffic.
+    """
+
+    rpc_methods = SCHEDULE_RPC_METHODS
+    serialize_dispatch = False
+    thread_name = "repro-schedule-server"
+
+    def __init__(
+        self,
+        db: "str | os.PathLike[str]",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: str | None = None,
+        executors: int = 2,
+        budget: float | None = None,
+    ) -> None:
+        if executors < 1:
+            raise ValueError(f"executors must be >= 1, got {executors}")
+        # Subclass state must be complete before RpcServer.__init__ binds
+        # the port (a request can arrive the instant it returns).
+        self._budget = float(budget) if budget is not None else None
+        self._store = ExperimentStore(db, check_same_thread=False)
+        self._store_lock = threading.RLock()
+        self._model = CostModel()
+        self._telemetry_lock = threading.Lock()
+        self._totals = {key: 0 for key in _TELEMETRY_KEYS}
+        # Counter deltas not yet flushed into a completed journal row (the
+        # per-row "_service_telemetry" convention mirrors the runner's
+        # "_solver_telemetry": summing row deltas reconstructs totals).
+        self._unflushed = {key: 0 for key in _TELEMETRY_KEYS}
+        self._work = threading.Condition()
+        self._done = threading.Condition()
+        self._closing = threading.Event()
+        self._executor_threads: list[threading.Thread] = []
+        try:
+            self.resumed = self._store.reclaim_stale(
+                older_than=0.0, experiments=[SERVICE_EXPERIMENT]
+            )
+            self._warm_cost_model()
+            for index in range(executors):
+                thread = threading.Thread(
+                    target=self._executor_loop,
+                    args=(f"sched-exec-{index}",),
+                    name=f"repro-sched-exec-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._executor_threads.append(thread)
+            super().__init__(host=host, port=port, token=token)
+        except BaseException:
+            # The TCP listener never came up; release what we own.
+            self._closing.set()
+            with self._work:
+                self._work.notify_all()
+            for thread in self._executor_threads:
+                thread.join(timeout=5.0)
+            self._store.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Startup / shutdown
+    # ------------------------------------------------------------------
+    def _warm_cost_model(self) -> None:
+        """Re-fit admission estimates from the journal's completion history."""
+        for _, params, duration, _, _ in self._store.duration_samples(
+            [SERVICE_EXPERIMENT]
+        ):
+            solver = params.get("solver")
+            if isinstance(solver, str):
+                self._model.observe(cost_experiment(solver), params, float(duration))
+
+    def _on_shutdown(self) -> None:
+        self._closing.set()
+        with self._work:
+            self._work.notify_all()
+        with self._done:
+            self._done.notify_all()
+        for thread in self._executor_threads:
+            thread.join(timeout=5.0)
+        with self._store_lock:
+            self._store.close()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _bump(self, key: str, amount: int = 1) -> None:
+        with self._telemetry_lock:
+            self._totals[key] += amount
+            self._unflushed[key] += amount
+
+    def _flush_deltas(self) -> dict[str, int]:
+        """Counter deltas accumulated since the last completed row."""
+        with self._telemetry_lock:
+            deltas = {key: n for key, n in self._unflushed.items() if n}
+            for key in deltas:
+                self._unflushed[key] = 0
+        return deltas
+
+    def telemetry(self) -> dict[str, int]:
+        with self._telemetry_lock:
+            return dict(self._totals)
+
+    # ------------------------------------------------------------------
+    # RPC dispatch
+    # ------------------------------------------------------------------
+    def _invoke(self, method: str, params: dict[str, Any]) -> Any:
+        if method == "ping":
+            return "pong"
+        if method == "schedule_info":
+            return self._schedule_info()
+        assert method == "submit"  # rpc_methods is the allowlist
+        return self._submit(params)
+
+    def _error_data(self, exc: Exception) -> dict[str, Any] | None:
+        if isinstance(exc, AdmissionError) and getattr(exc, "estimate", None) is not None:
+            return {"estimate": exc.estimate, "budget": self._budget}
+        return None
+
+    def _schedule_info(self) -> dict[str, Any]:
+        with self._store_lock:
+            counts = self._store.status_counts().get(SERVICE_EXPERIMENT, {})
+        return {
+            "protocol": SCHEDULE_PROTOCOL_VERSION,
+            "experiment": SERVICE_EXPERIMENT,
+            "executors": len(self._executor_threads),
+            "budget": self._budget,
+            "queue_depth": counts.get("pending", 0) + counts.get("running", 0),
+            "rows": counts,
+            "telemetry": self.telemetry(),
+            "pid": os.getpid(),
+        }
+
+    def _submit(self, params: dict[str, Any]) -> dict[str, Any]:
+        request = normalise_request(params)  # ValueError → structured reply
+        self._bump("requests")
+        key = request.cache_key()
+        with self._store_lock:
+            cached = self._store.cache_get(key)
+        if cached is not None:
+            self._bump("cache_hits")
+            return {**_public_payload(cached), "cache_hit": True}
+        journal_params = request.journal_params()
+        estimate = self._model.estimate(cost_experiment(request.solver), journal_params)
+        if self._budget is not None and estimate > self._budget:
+            self._bump("rejected")
+            error = AdmissionError(
+                f"expected duration {estimate:.3f}s exceeds the admission "
+                f"budget {self._budget:.3f}s for solver {request.solver!r}"
+            )
+            error.estimate = estimate
+            raise error
+        phash = params_hash(SERVICE_EXPERIMENT, journal_params)
+        with self._store_lock:
+            added = self._store.add_rows(SERVICE_EXPERIMENT, [journal_params])
+            if added:
+                # Negative priority = shortest-expected-first claiming, i.e.
+                # the longest-expected request queues last (the issue's
+                # admission ordering); cost_estimate feeds status/export.
+                self._store.set_schedule(
+                    [(SERVICE_EXPERIMENT, phash, -estimate, estimate)]
+                )
+        if added:
+            self._bump("admitted")
+        with self._work:
+            self._work.notify_all()
+        return self._await_row(phash)
+
+    def _await_row(self, phash: str) -> dict[str, Any]:
+        """Park the handler thread until the journaled row resolves."""
+        while True:
+            row = self._find_row(phash)
+            if row is None:
+                raise ServerClosed("journal row vanished (store was reset)")
+            if row.status == "done" and row.result is not None:
+                result = _public_payload(row.result)
+                result.setdefault("cache_hit", False)
+                return result
+            if row.status == "error":
+                raise RuntimeError(f"solve failed: {row.error}")
+            if self._closing.is_set():
+                raise ServerClosed("service is shutting down")
+            with self._done:
+                self._done.wait(timeout=0.5)
+
+    def _find_row(self, phash: str):
+        with self._store_lock:
+            if self._closing.is_set():
+                raise ServerClosed("service is shutting down")
+            for row in self._store.fetch_rows(SERVICE_EXPERIMENT):
+                if params_hash(SERVICE_EXPERIMENT, row.params) == phash:
+                    return row
+        return None
+
+    # ------------------------------------------------------------------
+    # Executors
+    # ------------------------------------------------------------------
+    def _executor_loop(self, tag: str) -> None:
+        while not self._closing.is_set():
+            with self._store_lock:
+                if self._closing.is_set():
+                    return
+                row = self._store.claim_next(tag, [SERVICE_EXPERIMENT])
+            if row is None:
+                with self._work:
+                    self._work.wait(timeout=0.5)
+                continue
+            try:
+                self._run_row(tag, row)
+            finally:
+                with self._done:
+                    self._done.notify_all()
+
+    def _run_row(self, tag: str, row: Any) -> None:
+        started = time.perf_counter()
+        try:
+            request = normalise_request(row.params)
+        except ValueError as exc:
+            with self._store_lock:
+                self._store.fail(
+                    row.id, f"invalid journal row: {exc}", duration=0.0, worker=tag
+                )
+            return
+        key = request.cache_key()
+        with self._store_lock:
+            cached = self._store.cache_get(key)
+        if cached is not None:
+            # A renamed-but-identical instance journaled as its own row, or
+            # a resumed row whose solve finished before the kill.
+            self._bump("cache_hits")
+            self._complete(tag, row.id, cached, cache_hit=True, duration=0.0)
+            return
+        try:
+            payload, duration = execute_request(request)
+        except Exception as exc:  # noqa: BLE001 - row-level fault isolation
+            with self._store_lock:
+                self._store.fail(
+                    row.id,
+                    f"{type(exc).__name__}: {exc}",
+                    duration=time.perf_counter() - started,
+                    worker=tag,
+                )
+            return
+        self._bump("solves")
+        self._model.observe(cost_experiment(request.solver), row.params, duration)
+        with self._store_lock:
+            self._store.cache_put(key, request.solver, payload)
+        self._complete(tag, row.id, payload, cache_hit=False, duration=duration)
+
+    def _complete(
+        self,
+        tag: str,
+        row_id: int,
+        payload: Mapping[str, Any],
+        *,
+        cache_hit: bool,
+        duration: float,
+    ) -> None:
+        result = {
+            **payload,
+            "cache_hit": cache_hit,
+            SERVICE_TELEMETRY_KEY: self._flush_deltas(),
+        }
+        with self._store_lock:
+            self._store.complete(row_id, result, duration=duration, worker=tag)
+
+
+def _public_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Strip journal-internal keys from a row result / cached payload."""
+    return {key: value for key, value in payload.items() if key != SERVICE_TELEMETRY_KEY}
