@@ -1,0 +1,56 @@
+"""Static and dynamic invariant checking for the repro stack.
+
+Two halves:
+
+* :mod:`repro.analysis.lint` — ``repro lint``, an AST checker for the
+  repo-specific conventions the distributed stack depends on (op-id
+  threading, store-layer SQLite, framed sockets, ownership-guarded
+  closes, re-parent watches, pure cache keys, …).
+* :mod:`repro.analysis.racecheck` — an opt-in runtime lock-order and
+  store-thread-confinement checker (``REPRO_RACECHECK=1``) that the
+  concurrency layers build their locks through.
+"""
+
+from __future__ import annotations
+
+from .lint import (
+    RULES,
+    Finding,
+    LintRule,
+    findings_to_json,
+    iter_python_files,
+    lint_paths,
+    lint_project,
+)
+from .racecheck import (
+    ENV_RACECHECK,
+    LockOrderViolation,
+    RacecheckViolation,
+    StoreThreadViolation,
+    enabled,
+    guard_store,
+    tracked_condition,
+    tracked_lock,
+    tracked_rlock,
+    wrap_store_connection,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintRule",
+    "findings_to_json",
+    "iter_python_files",
+    "lint_paths",
+    "lint_project",
+    "ENV_RACECHECK",
+    "LockOrderViolation",
+    "RacecheckViolation",
+    "StoreThreadViolation",
+    "enabled",
+    "guard_store",
+    "tracked_condition",
+    "tracked_lock",
+    "tracked_rlock",
+    "wrap_store_connection",
+]

@@ -91,6 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
     constants = sub.add_parser("constants", help="print derived constants for an eps")
     constants.add_argument("--eps", type=float, default=0.25)
 
+    lint = sub.add_parser(
+        "lint",
+        help="check the repo-specific invariants of the distributed stack "
+        "(op-id threading, store-layer SQLite, framed sockets, ...)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: this installation's "
+        "src/repro tree)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON array"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+
     orch = sub.add_parser(
         "orch", help="persistent parallel experiment orchestration (SQLite-backed)"
     )
@@ -306,6 +326,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="admission budget: reject requests whose cost-model expected "
         "duration exceeds this many seconds (default: admit everything)",
+    )
+    orch_schedule_serve.add_argument(
+        "--retry-errors",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-open an errored journal row for up to N fresh submissions "
+        "of the same request (default: 0 = failures stay terminal; op-id "
+        "replays never consume the budget)",
     )
     orch_schedule_serve.add_argument(
         "--solver-servers",
@@ -876,6 +905,8 @@ def _cmd_orch_schedule_serve(args: argparse.Namespace) -> int:
     solver_connect = _resolve_solver_connect(args)
     if args.executors < 1:
         raise SystemExit("error: --executors must be >= 1")
+    if args.retry_errors < 0:
+        raise SystemExit("error: --retry-errors must be >= 0")
 
     def _stop(signum: int, frame: object) -> None:
         raise SystemExit(0)
@@ -891,6 +922,7 @@ def _cmd_orch_schedule_serve(args: argparse.Namespace) -> int:
             token=token,
             executors=args.executors,
             budget=args.budget,
+            retry_errors=args.retry_errors,
         )
         print(
             f"scheduling service on {server.url} "
@@ -1050,8 +1082,9 @@ def _cmd_orch_status(args: argparse.Namespace) -> int:
             if counts[experiment].get("done", 0)
             for row in store.fetch_rows(experiment, status="done")
         ]
+        service_tail = store.service_telemetry_tail()
     solver_totals = aggregate_solver_telemetry(done_rows)
-    service_totals = aggregate_service_telemetry(done_rows)
+    service_totals = aggregate_service_telemetry(done_rows, service_tail)
     table = ExperimentTable("orch", f"store status ({_store_label(args)})")
     for experiment in sorted(counts):
         per_status = counts[experiment]
@@ -1228,6 +1261,33 @@ def _cmd_orch(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}") from exc
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import RULES, findings_to_json, lint_paths
+
+    if args.list_rules:
+        width = max(len(rule.id) for rule in RULES)
+        for rule in RULES:
+            print(f"{rule.id:<{width}}  {rule.summary}")
+        return 0
+    package_root = Path(__file__).resolve().parent
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        root = Path.cwd()
+    else:
+        # Default: lint this installation's own source tree, with findings
+        # reported relative to the repo root (src/repro/cli.py -> repo).
+        paths = [package_root]
+        root = package_root.parent.parent
+    findings = lint_paths(paths, root=root)
+    if args.json:
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format())
+        print(f"{len(findings)} finding(s)" if findings else "clean: 0 findings")
+    return 1 if findings else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1237,6 +1297,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "experiments": _cmd_experiments,
         "constants": _cmd_constants,
+        "lint": _cmd_lint,
         "orch": _cmd_orch,
     }
     return handlers[args.command](args)

@@ -25,6 +25,8 @@ worker runs the full cost-model / re-planning / bounded-wait claim loop of
 :func:`repro.orchestration.runner.run_worker`, just against a socket.
 """
 
+import os
+
 from .client import RemoteStore, StoreConnectionError
 from .protocol import (
     DEFAULT_PORT,
@@ -59,11 +61,11 @@ __all__ = [
 
 
 def open_store(
-    target,
+    target: "str | os.PathLike[str]",
     *,
     fifo_every: int | None = None,
     token: str | None = None,
-):
+) -> StoreProtocol:
     """Open a store by target: a local path or a ``tcp://host:port`` address.
 
     The uniform entry point the runner and CLI use — everything downstream

@@ -33,7 +33,7 @@ from __future__ import annotations
 import socket
 import time
 import uuid
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from ..orchestration.store import ClaimedRow, StoredRow
 from .protocol import (
@@ -46,6 +46,7 @@ from .protocol import (
     encode_frame,
     parse_address,
     recv_frame,
+    send_encoded,
 )
 from .rpc import knock, raise_reply_error
 
@@ -163,7 +164,7 @@ class RemoteStore:
         for attempt in range(self._retries + 1):
             try:
                 sock = self._sock or self._connect()
-                sock.sendall(frame)
+                send_encoded(sock, frame)
                 reply = recv_frame(sock)
                 if reply.get("id") != payload["id"]:
                     # A half-read earlier frame desynchronised the stream;
@@ -270,6 +271,9 @@ class RemoteStore:
                 {"row_id": row_id, "error": error, "duration": duration, "worker": worker},
             )
         )
+
+    def resubmit(self, row_id: int) -> bool:
+        return bool(self._call("resubmit", {"row_id": row_id}))
 
     def reclaim_stale(
         self, *, older_than: float = 0.0, experiments: Sequence[str] | None = None
@@ -405,6 +409,21 @@ class RemoteStore:
             )
         )
 
+    # ------------------------------------------------------------------
+    # Service telemetry tail
+    # ------------------------------------------------------------------
+    def service_telemetry_tail(self) -> dict[str, int]:
+        return {
+            str(key): int(value)
+            for key, value in self._call("service_telemetry_tail", {}).items()
+        }
+
+    def set_service_telemetry_tail(self, counters: Mapping[str, int]) -> None:
+        self._call(
+            "set_service_telemetry_tail",
+            {"counters": {str(key): int(value) for key, value in counters.items()}},
+        )
+
     def load_cost_priors(self) -> dict[str, dict[str, Any]]:
         return self._call("load_cost_priors", {})
 
@@ -450,3 +469,18 @@ class RemoteStore:
 
 def _names(experiments: Sequence[str] | None) -> list[str] | None:
     return list(experiments) if experiments is not None else None
+
+
+if TYPE_CHECKING:
+    # Static conformance gate: mypy rejects this module if either store
+    # drifts from StoreProtocol (missing method, mismatched signature).
+    # Runtime never executes it — the protocol stays a structural contract
+    # with zero import cost, but CI still catches a skew before a worker
+    # does at 2am.
+    from ..orchestration.store import ExperimentStore
+    from .protocol import StoreProtocol
+
+    def _assert_store_protocol(
+        local: ExperimentStore, remote: RemoteStore
+    ) -> tuple[StoreProtocol, StoreProtocol]:
+        return local, remote

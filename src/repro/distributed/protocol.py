@@ -56,6 +56,7 @@ __all__ = [
     "is_remote_target",
     "parse_address",
     "recv_frame",
+    "send_encoded",
     "send_frame",
 ]
 
@@ -143,6 +144,18 @@ def encode_frame(payload: Mapping[str, Any]) -> bytes:
 def send_frame(sock: socket.socket, payload: Mapping[str, Any]) -> None:
     """Serialise one message and write it as a length-prefixed frame."""
     sock.sendall(encode_frame(payload))
+
+
+def send_encoded(sock: socket.socket, frame: bytes) -> None:
+    """Write an already-:func:`encode_frame`-ed message to the socket.
+
+    The complete-write counterpart of :func:`send_frame` for callers that
+    encode early (to fail fast on payload bugs, or to build the frame once
+    and send it on whichever connection survives a retry loop).  All wire
+    writes go through this module so framing — and the repro-lint rule
+    banning raw ``socket.send*`` elsewhere — stays in one place.
+    """
+    sock.sendall(frame)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -249,6 +262,7 @@ class StoreProtocol(Protocol):
     def reclaim_stale(
         self, *, older_than: float = 0.0, experiments: Sequence[str] | None = None
     ) -> int: ...
+    def resubmit(self, row_id: int) -> bool: ...
     def reset(
         self,
         experiments: Sequence[str] | None = None,
@@ -298,6 +312,11 @@ class StoreProtocol(Protocol):
     def save_cost_priors(self, priors: Mapping[str, Mapping[str, Any]]) -> int: ...
     def load_cost_priors(self) -> dict[str, dict[str, Any]]: ...
 
+    # Service telemetry tail (scheduling-service counters not yet folded
+    # into completed journal rows; journaled so restarts don't lose them)
+    def service_telemetry_tail(self) -> dict[str, int]: ...
+    def set_service_telemetry_tail(self, counters: Mapping[str, int]) -> None: ...
+
     # Introspection
     def status_counts(self) -> dict[str, dict[str, int]]: ...
     def pending_count(self, experiments: Sequence[str] | None = None) -> int: ...
@@ -327,6 +346,7 @@ RPC_METHODS = frozenset(
         "fail",
         "reclaim_stale",
         "reset",
+        "resubmit",
         "delete_rows",
         "set_schedule",
         "set_dependencies",
@@ -341,6 +361,8 @@ RPC_METHODS = frozenset(
         "duration_samples",
         "save_cost_priors",
         "load_cost_priors",
+        "service_telemetry_tail",
+        "set_service_telemetry_tail",
         "status_counts",
         "pending_count",
         "fetch_rows",
@@ -368,6 +390,7 @@ MUTATING_METHODS = frozenset(
         "fail",
         "reclaim_stale",
         "reset",
+        "resubmit",
         "delete_rows",
         "set_schedule",
         "set_dependencies",
@@ -376,6 +399,7 @@ MUTATING_METHODS = frozenset(
         "try_begin_replan",
         "publish_replan_epoch",
         "save_cost_priors",
+        "set_service_telemetry_tail",
         "cache_put",
         "clear_cache",
         "set_fifo_every",

@@ -41,6 +41,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Mapping, NoReturn
 
+from ..analysis import racecheck
 from .protocol import (
     AuthError,
     ConnectionClosed,
@@ -188,13 +189,15 @@ class RpcServer:
         token: str | None = None,
     ) -> None:
         self._token = token
-        self._lock = threading.Lock()
+        # Lock names are per-class so the racecheck ordering graph keeps the
+        # store server's dispatch lock distinct from the fabric's.
+        self._lock = racecheck.tracked_lock(f"rpc.dispatch.{type(self).__name__}")
         self._ops = _OpCache()
         # Op ids currently executing on the concurrent path: a resent op
         # waits on its original's event instead of executing a second time.
         self._inflight_ops: dict[str, threading.Event] = {}
         self._connections: set[Any] = set()
-        self._conn_lock = threading.Lock()
+        self._conn_lock = racecheck.tracked_lock(f"rpc.conns.{type(self).__name__}")
         self._serve_thread: threading.Thread | None = None
         self._serving = threading.Event()
         self._closed = False

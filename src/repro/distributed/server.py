@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 from typing import Any
 
+from ..analysis import racecheck
 from ..orchestration.store import ExperimentStore
 from .protocol import PROTOCOL_VERSION, RPC_METHODS
 from .rpc import OP_CACHE_SIZE, RpcServer
@@ -70,6 +71,9 @@ class StoreServer(RpcServer):
         except BaseException:
             self._store.close()
             raise
+        # Handler threads may touch the store only under the dispatch lock;
+        # the race checker enforces exactly that sanctioned path.
+        racecheck.guard_store(self._store, self._lock)
 
     def _on_shutdown(self) -> None:
         self._store.close()

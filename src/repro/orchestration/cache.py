@@ -30,6 +30,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Mapping
 
+from ..analysis import racecheck
 from ..core.instance import Instance
 from ..core.result import SolverResult
 from .store import ExperimentStore, _to_jsonable
@@ -55,6 +56,10 @@ __all__ = [
 DEFAULT_MEMO_ENTRIES = 4096
 
 _memo: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+# The memo is shared mutable state: the scheduling service's executor
+# threads all solve through cached_solve concurrently, and an unguarded
+# OrderedDict corrupts under simultaneous move_to_end/popitem.
+_memo_lock = racecheck.tracked_lock("cache.memo")
 _memo_hits = 0
 _memo_limit = DEFAULT_MEMO_ENTRIES
 # The persistent layer: a local ExperimentStore, or any store-shaped object
@@ -181,8 +186,9 @@ def active_cache() -> Any:
 
 def clear_memo() -> None:
     global _memo_hits
-    _memo.clear()
-    _memo_hits = 0
+    with _memo_lock:
+        _memo.clear()
+        _memo_hits = 0
 
 
 def set_memo_limit(limit: int) -> None:
@@ -190,27 +196,34 @@ def set_memo_limit(limit: int) -> None:
     global _memo_limit
     if limit < 1:
         raise ValueError(f"memo limit must be >= 1, got {limit}")
-    _memo_limit = limit
-    while len(_memo) > _memo_limit:
-        _memo.popitem(last=False)
+    with _memo_lock:
+        _memo_limit = limit
+        while len(_memo) > _memo_limit:
+            _memo.popitem(last=False)
 
 
 def memo_stats() -> dict[str, int]:
-    return {"entries": len(_memo), "hits": _memo_hits}
+    with _memo_lock:
+        return {"entries": len(_memo), "hits": _memo_hits}
 
 
-def _memo_get(key: str) -> dict[str, Any] | None:
-    hit = _memo.get(key)
-    if hit is not None:
-        _memo.move_to_end(key)
-    return hit
+def _memo_get(key: str, *, count_hit: bool = False) -> dict[str, Any] | None:
+    global _memo_hits
+    with _memo_lock:
+        hit = _memo.get(key)
+        if hit is not None:
+            _memo.move_to_end(key)
+            if count_hit:
+                _memo_hits += 1
+        return hit
 
 
 def _memo_put(key: str, payload: dict[str, Any]) -> None:
-    _memo[key] = payload
-    _memo.move_to_end(key)
-    while len(_memo) > _memo_limit:
-        _memo.popitem(last=False)
+    with _memo_lock:
+        _memo[key] = payload
+        _memo.move_to_end(key)
+        while len(_memo) > _memo_limit:
+            _memo.popitem(last=False)
 
 
 def summarise_result(result: SolverResult) -> dict[str, Any]:
@@ -274,11 +287,9 @@ def cached_solve(
     alongside the standard summary, so cache hits reproduce them too.  The
     returned payload carries a ``cache_hit`` flag for reporting.
     """
-    global _memo_hits
     key = cache_key(instance, solver, config, backend=backend)
-    hit = _memo_get(key)
+    hit = _memo_get(key, count_hit=True)
     if hit is not None:
-        _memo_hits += 1
         return {**hit, "cache_hit": True}
     store = active_cache()
     if store is not None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 import os
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..experiments.tables import ExperimentTable
 from . import registry
@@ -154,7 +154,9 @@ def _solver_telemetry_note(done_rows: list[Any]) -> str | None:
     return format_solver_telemetry(totals) if totals else None
 
 
-def aggregate_service_telemetry(done_rows: list[Any]) -> dict[str, int] | None:
+def aggregate_service_telemetry(
+    done_rows: list[Any], tail: Mapping[str, int] | None = None
+) -> dict[str, int] | None:
     """Sum the per-request ``_service_telemetry`` deltas of completed rows.
 
     The scheduling service (:mod:`repro.service`) flushes its counter
@@ -162,7 +164,10 @@ def aggregate_service_telemetry(done_rows: list[Any]) -> dict[str, int] | None:
     cache, actually solved — into each journal row it completes, the same
     per-row-delta convention the runner uses for ``_solver_telemetry``, so
     summing over done rows reconstructs the service totals from the store
-    file alone.  Returns ``None`` when no row carries service telemetry.
+    file alone.  ``tail`` is the journaled remainder for counters that never
+    reach a completed row (rejections, replays, retries) — pass the store's
+    ``service_telemetry_tail()`` so restarts don't silently zero them.
+    Returns ``None`` when no row carries telemetry and the tail is empty.
     """
     totals = {"requests": 0, "admitted": 0, "rejected": 0, "cache_hits": 0, "solves": 0}
     seen = False
@@ -175,6 +180,10 @@ def aggregate_service_telemetry(done_rows: list[Any]) -> dict[str, int] | None:
         seen = True
         for key in totals:
             totals[key] += int(payload.get(key, 0))
+    for key, count in (tail or {}).items():
+        if key in totals and count:
+            seen = True
+            totals[key] += int(count)
     return totals if seen else None
 
 
@@ -223,7 +232,11 @@ def service_table(store: "StoreProtocol") -> ExperimentTable:
             }
         )
     done_rows = [row for row in rows if row.status == "done"]
-    totals = aggregate_service_telemetry(done_rows)
+    # Older stores (or plain dict-shaped fakes) may predate the journaled
+    # tail; render them without it rather than failing the export.
+    tail_getter = getattr(store, "service_telemetry_tail", None)
+    tail = tail_getter() if callable(tail_getter) else None
+    totals = aggregate_service_telemetry(done_rows, tail)
     if totals:
         table.add_note(format_service_telemetry(totals))
     if not rows:

@@ -71,7 +71,7 @@ import traceback
 import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..solver import get_solver_service, solver_service_scope
 from . import registry
@@ -79,6 +79,9 @@ from .cache import cache_scope
 from .planner import PREREQ_EXPERIMENT, replan
 from .scheduling import CostModel
 from .store import ExperimentStore
+
+if TYPE_CHECKING:
+    from ..distributed.protocol import StoreProtocol
 
 __all__ = ["RunReport", "populate", "run_pool", "run_worker", "run_workers"]
 
@@ -126,7 +129,12 @@ class RunReport:
         self.worker_tags.extend(other.worker_tags)
 
 
-def _open_store(target, *, fifo_every: int | None = None, token: str | None = None):
+def _open_store(
+    target: "str | os.PathLike[str]",
+    *,
+    fifo_every: int | None = None,
+    token: str | None = None,
+) -> "StoreProtocol":
     """A store for a target: local path or ``tcp://host:port`` server address."""
     # Deferred import: repro.distributed imports this package's store module.
     from ..distributed import open_store
@@ -134,7 +142,7 @@ def _open_store(target, *, fifo_every: int | None = None, token: str | None = No
     return open_store(target, fifo_every=fifo_every, token=token)
 
 
-def _is_remote(target) -> bool:
+def _is_remote(target: "str | os.PathLike[str]") -> bool:
     from ..distributed import is_remote_target
 
     return is_remote_target(target)
@@ -316,7 +324,7 @@ def run_worker(
     return report
 
 
-def _claim_scope(store, names: Sequence[str] | None) -> Sequence[str] | None:
+def _claim_scope(store: Any, names: Sequence[str] | None) -> Sequence[str] | None:
     """Widen an experiment filter to include unfinished ``prereq`` rows.
 
     Workers must be able to claim the prerequisite rows their cells are
@@ -335,7 +343,7 @@ def _claim_scope(store, names: Sequence[str] | None) -> Sequence[str] | None:
 
 
 def _drain(
-    target,
+    target: "str | os.PathLike[str]",
     claim_names: Sequence[str] | None,
     report: RunReport,
     *,
@@ -396,7 +404,7 @@ def _drain(
 
 
 def run_workers(
-    target,
+    target: "str | os.PathLike[str]",
     experiments: Sequence[str] | None = None,
     *,
     workers: int = 2,

@@ -233,6 +233,14 @@ class ExperimentStore:
             check_same_thread=check_same_thread,
         )
         self._conn.row_factory = sqlite3.Row
+        # Under REPRO_RACECHECK the connection is proxied so cross-thread
+        # use outside an owner's registered guard lock fails the test run
+        # (a no-op plain passthrough otherwise).
+        from ..analysis import racecheck
+
+        self._conn = racecheck.wrap_store_connection(
+            self._conn, self, shared=not check_same_thread
+        )
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
@@ -430,6 +438,27 @@ class ExperimentStore:
             query += " AND worker = ?"
             args.append(worker)
         return self._conn.execute(query, args).rowcount == 1
+
+    def resubmit(self, row_id: int) -> bool:
+        """Re-open one errored row for another attempt (``error`` → ``pending``).
+
+        The scheduling service's ``--retry-errors`` path: a fresh submission
+        that lands on an errored journal row may re-open it instead of
+        treating the failure as terminal.  Only ``error`` rows are touched —
+        resubmitting a done/pending/running row is a no-op returning
+        ``False``, so a racing duplicate submit cannot restart work that is
+        fine.  Like :meth:`reset`, re-opening a prerequisite re-blocks its
+        still-pending dependents.
+        """
+        cursor = self._conn.execute(
+            "UPDATE runs SET status = 'pending', result = NULL, error = NULL, "
+            "worker = NULL, claimed_at = NULL, finished_at = NULL, duration = NULL "
+            "WHERE id = ? AND status = 'error'",
+            (row_id,),
+        )
+        if cursor.rowcount:
+            self.sync_dependencies()
+        return cursor.rowcount == 1
 
     def reclaim_stale(
         self, *, older_than: float = 0.0, experiments: Sequence[str] | None = None
@@ -912,6 +941,49 @@ class ExperimentStore:
                 "SELECT experiment, samples, mean_duration, hint_scale FROM cost_priors"
             )
         }
+
+    # ------------------------------------------------------------------
+    # Service telemetry tail
+    # ------------------------------------------------------------------
+    # The scheduling service folds its counters into completed journal rows
+    # (the "_service_telemetry" per-row delta convention); the *tail* is the
+    # remainder that has not yet ridden a row — rejected submissions and
+    # cache hits on an otherwise idle service.  Journaling it here is what
+    # lets `orch status`/`orch export service` reconstruct lifetime totals
+    # across a restart.  One integer scheduler_state row per counter keeps
+    # the value column's INTEGER type honest.
+
+    _SERVICE_TAIL_PREFIX = "service_telemetry_tail:"
+
+    def service_telemetry_tail(self) -> dict[str, int]:
+        """Unflushed service counter deltas, as journaled by the service."""
+        return {
+            row["key"][len(self._SERVICE_TAIL_PREFIX):]: int(row["value"])
+            for row in self._conn.execute(
+                "SELECT key, value FROM scheduler_state WHERE key LIKE ?",
+                (self._SERVICE_TAIL_PREFIX + "%",),
+            )
+            if int(row["value"])
+        }
+
+    def set_service_telemetry_tail(self, counters: Mapping[str, int]) -> None:
+        """Overwrite the journaled tail with the service's current snapshot."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.execute(
+                "DELETE FROM scheduler_state WHERE key LIKE ?",
+                (self._SERVICE_TAIL_PREFIX + "%",),
+            )
+            for key, value in counters.items():
+                if int(value):
+                    self._conn.execute(
+                        "INSERT INTO scheduler_state (key, value) VALUES (?, ?)",
+                        (self._SERVICE_TAIL_PREFIX + str(key), int(value)),
+                    )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
 
     # ------------------------------------------------------------------
     # Introspection

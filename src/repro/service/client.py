@@ -27,6 +27,7 @@ from ..distributed.protocol import (
     RemoteOperationError,
     encode_frame,
     recv_frame,
+    send_encoded,
 )
 from ..distributed.rpc import knock, raise_reply_error
 from .requests import (
@@ -127,7 +128,7 @@ class ScheduleClient:
         for attempt in range(self._retries + 1):
             try:
                 sock = self._sock or self._connect()
-                sock.sendall(frame)
+                send_encoded(sock, frame)
                 reply = recv_frame(sock)
                 if reply.get("id") != payload["id"]:
                     raise FrameError(

@@ -34,9 +34,10 @@ import threading
 import time
 from typing import Any, Mapping
 
+from ..analysis import racecheck
 from ..distributed.rpc import RpcServer
 from ..orchestration.scheduling import CostModel
-from ..orchestration.store import ExperimentStore, params_hash
+from ..orchestration.store import ExperimentStore, StoredRow, params_hash
 from .requests import (
     SCHEDULE_PROTOCOL_VERSION,
     SCHEDULE_RPC_METHODS,
@@ -70,9 +71,13 @@ class ScheduleServer(RpcServer):
     ``db`` is the journal/cache store file (created if missing) — owned by
     the server, closed on shutdown.  ``executors`` threads drain the
     journal; ``budget`` (seconds of expected duration) enables cost-model
-    admission when set.  Construction reclaims rows stranded ``running`` by
-    a killed predecessor and re-fits the cost model from the journal's own
-    duration history, so resume needs no warm-up traffic.
+    admission when set.  ``retry_errors`` re-opens an errored journal row
+    for up to that many *fresh* submissions of the same request (default 0:
+    failures stay terminal; op-id replays never consume the budget).
+    Construction reclaims rows stranded ``running`` by a killed
+    predecessor, reconstructs lifetime telemetry from completed-row deltas
+    plus the journaled tail, and re-fits the cost model from the journal's
+    own duration history, so resume needs no warm-up traffic.
     """
 
     rpc_methods = SCHEDULE_RPC_METHODS
@@ -88,29 +93,42 @@ class ScheduleServer(RpcServer):
         token: str | None = None,
         executors: int = 2,
         budget: float | None = None,
+        retry_errors: int = 0,
     ) -> None:
         if executors < 1:
             raise ValueError(f"executors must be >= 1, got {executors}")
+        if retry_errors < 0:
+            raise ValueError(f"retry_errors must be >= 0, got {retry_errors}")
         # Subclass state must be complete before RpcServer.__init__ binds
         # the port (a request can arrive the instant it returns).
         self._budget = float(budget) if budget is not None else None
         self._store = ExperimentStore(db, check_same_thread=False)
-        self._store_lock = threading.RLock()
+        self._store_lock = racecheck.tracked_rlock("schedule.store")
+        racecheck.guard_store(self._store, self._store_lock)
         self._model = CostModel()
-        self._telemetry_lock = threading.Lock()
+        self._telemetry_lock = racecheck.tracked_lock("schedule.telemetry")
         self._totals = {key: 0 for key in _TELEMETRY_KEYS}
         # Counter deltas not yet flushed into a completed journal row (the
         # per-row "_service_telemetry" convention mirrors the runner's
         # "_solver_telemetry": summing row deltas reconstructs totals).
         self._unflushed = {key: 0 for key in _TELEMETRY_KEYS}
-        self._work = threading.Condition()
-        self._done = threading.Condition()
+        # The journaled copy of _unflushed (the "tail"): executors write it
+        # back whenever it drifts, so rejected/cache-hit counters that never
+        # ride a completed row still survive a restart.
+        self._tail_journaled: dict[str, int] = {}
+        # error-row resubmission policy: how many fresh submissions may
+        # re-open one errored journal row (0 = failures are terminal).
+        self._retry_errors = int(retry_errors)
+        self._error_retries: dict[str, int] = {}
+        self._work = racecheck.tracked_condition("schedule.work")
+        self._done = racecheck.tracked_condition("schedule.done")
         self._closing = threading.Event()
         self._executor_threads: list[threading.Thread] = []
         try:
             self.resumed = self._store.reclaim_stale(
                 older_than=0.0, experiments=[SERVICE_EXPERIMENT]
             )
+            self._load_telemetry()
             self._warm_cost_model()
             for index in range(executors):
                 thread = threading.Thread(
@@ -144,6 +162,22 @@ class ScheduleServer(RpcServer):
             if isinstance(solver, str):
                 self._model.observe(cost_experiment(solver), params, float(duration))
 
+    def _load_telemetry(self) -> None:
+        """Reconstruct lifetime counters: completed-row deltas plus the tail."""
+        tail = self._store.service_telemetry_tail()
+        totals = {key: tail.get(key, 0) for key in _TELEMETRY_KEYS}
+        for row in self._store.fetch_rows(SERVICE_EXPERIMENT, status="done"):
+            deltas = (row.result or {}).get(SERVICE_TELEMETRY_KEY) or {}
+            for key in _TELEMETRY_KEYS:
+                totals[key] += int(deltas.get(key, 0))
+        with self._telemetry_lock:
+            self._totals = totals
+            # The tail *is* the unflushed remainder of the previous life:
+            # the next completed row folds it in, and the overwrite in
+            # _complete retires the journaled copy.
+            self._unflushed = {key: tail.get(key, 0) for key in _TELEMETRY_KEYS}
+            self._tail_journaled = dict(tail)
+
     def _on_shutdown(self) -> None:
         self._closing.set()
         with self._work:
@@ -153,6 +187,7 @@ class ScheduleServer(RpcServer):
         for thread in self._executor_threads:
             thread.join(timeout=5.0)
         with self._store_lock:
+            self._journal_tail()
             self._store.close()
 
     # ------------------------------------------------------------------
@@ -174,6 +209,21 @@ class ScheduleServer(RpcServer):
     def telemetry(self) -> dict[str, int]:
         with self._telemetry_lock:
             return dict(self._totals)
+
+    def _journal_tail(self) -> None:
+        """Journal the unflushed counter snapshot when it has drifted.
+
+        Caller holds ``_store_lock``.  Executors call this when idle and
+        after every completed row, so a restart loses at most the counters
+        bumped since the last idle tick — rejected submissions and cache
+        hits no longer evaporate with the process.
+        """
+        with self._telemetry_lock:
+            snapshot = {key: n for key, n in self._unflushed.items() if n}
+        if snapshot == self._tail_journaled:
+            return
+        self._store.set_service_telemetry_tail(snapshot)
+        self._tail_journaled = snapshot
 
     # ------------------------------------------------------------------
     # RPC dispatch
@@ -199,6 +249,7 @@ class ScheduleServer(RpcServer):
             "experiment": SERVICE_EXPERIMENT,
             "executors": len(self._executor_threads),
             "budget": self._budget,
+            "retry_errors": self._retry_errors,
             "queue_depth": counts.get("pending", 0) + counts.get("running", 0),
             "rows": counts,
             "telemetry": self.telemetry(),
@@ -226,19 +277,43 @@ class ScheduleServer(RpcServer):
             raise error
         phash = params_hash(SERVICE_EXPERIMENT, journal_params)
         with self._store_lock:
-            added = self._store.add_rows(SERVICE_EXPERIMENT, [journal_params])
-            if added:
+            admitted = bool(self._store.add_rows(SERVICE_EXPERIMENT, [journal_params]))
+            if not admitted and self._retry_errors:
+                admitted = self._retry_errored(phash)
+            if admitted:
                 # Negative priority = shortest-expected-first claiming, i.e.
                 # the longest-expected request queues last (the issue's
                 # admission ordering); cost_estimate feeds status/export.
                 self._store.set_schedule(
                     [(SERVICE_EXPERIMENT, phash, -estimate, estimate)]
                 )
-        if added:
+        if admitted:
             self._bump("admitted")
         with self._work:
             self._work.notify_all()
         return self._await_row(phash)
+
+    def _retry_errored(self, phash: str) -> bool:
+        """Re-open this request's errored journal row if the budget allows.
+
+        Caller holds ``_store_lock``.  The budget is per request content
+        (params hash), counted across the server's lifetime: N means this
+        content's errored row is re-opened at most N times, no matter how
+        many clients re-submit it.  (Error replies are deliberately not
+        recorded for op replay — a failed op committed nothing — so a
+        lost-reply retry of the same op re-enters ``_submit`` and may
+        consume a retry; correct, since that client never saw the failure.)
+        """
+        used = self._error_retries.get(phash, 0)
+        if used >= self._retry_errors:
+            return False
+        for row in self._store.fetch_rows(SERVICE_EXPERIMENT, status="error"):
+            if params_hash(SERVICE_EXPERIMENT, row.params) == phash:
+                if self._store.resubmit(row.id):
+                    self._error_retries[phash] = used + 1
+                    return True
+                return False
+        return False
 
     def _await_row(self, phash: str) -> dict[str, Any]:
         """Park the handler thread until the journaled row resolves."""
@@ -257,7 +332,7 @@ class ScheduleServer(RpcServer):
             with self._done:
                 self._done.wait(timeout=0.5)
 
-    def _find_row(self, phash: str):
+    def _find_row(self, phash: str) -> "StoredRow | None":
         with self._store_lock:
             if self._closing.is_set():
                 raise ServerClosed("service is shutting down")
@@ -276,6 +351,10 @@ class ScheduleServer(RpcServer):
                     return
                 row = self._store.claim_next(tag, [SERVICE_EXPERIMENT])
             if row is None:
+                with self._store_lock:
+                    if self._closing.is_set():
+                        return
+                    self._journal_tail()
                 with self._work:
                     self._work.wait(timeout=0.5)
                 continue
@@ -337,6 +416,10 @@ class ScheduleServer(RpcServer):
         }
         with self._store_lock:
             self._store.complete(row_id, result, duration=duration, worker=tag)
+            # The row now carries those deltas; retire the journaled tail in
+            # the same locked section so restart reconstruction (row deltas
+            # + tail) never double-counts them.
+            self._journal_tail()
 
 
 def _public_payload(payload: Mapping[str, Any]) -> dict[str, Any]:

@@ -91,7 +91,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Fabric symbols resolve lazily so importing repro.solver stays free of
     # the sockets/select machinery for single-host runs.
     if name in _FABRIC_NAMES:

@@ -74,6 +74,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 from scipy import sparse
 
+from ..analysis import racecheck
 from ..core.errors import ReproError
 from ..distributed.protocol import (
     AddressError,
@@ -84,6 +85,7 @@ from ..distributed.protocol import (
     format_address,
     parse_address,
     recv_frame,
+    send_encoded,
     send_frame,
 )
 from ..distributed.rpc import RpcServer, knock, raise_reply_error
@@ -351,7 +353,7 @@ class SolverFabricServer(RpcServer):
             initializer=initializer,
         )
         self._active = 0
-        self._active_lock = threading.Lock()
+        self._active_lock = racecheck.tracked_lock("fabric.server.active")
         try:
             super().__init__(host=host, port=port, token=token)
         except BaseException:
@@ -553,7 +555,9 @@ class SolverFabric:
         self.timeout_grace = float(timeout_grace)
         self.default_hard_timeout = default_hard_timeout
         self._seed_rate = float(seed_rate)
-        self._lock = threading.RLock()
+        # One RLock for queue + endpoints + memo; endpoint conditions are
+        # built on it (tracked locks expose the Condition compat surface).
+        self._lock = racecheck.tracked_rlock("fabric.client")
         self._request_ids = itertools.count(1)
         self._stats = FabricStats()
         self._memo: OrderedDict[str, dict[str, Any]] = OrderedDict()
@@ -990,7 +994,7 @@ class SolverFabric:
                     timeout=self._timeout,
                     connect_timeout=self._connect_timeout,
                 )
-            sock.sendall(frame)
+            send_encoded(sock, frame)
             reply = self._await_reply(sock, request_id, item, endpoint, started)
         except _Abandon:
             # The slot's wait is over without a usable reply: a lame-duck

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Any, Callable, Mapping, Sequence
 
+from ..analysis import racecheck
 from ..core.errors import ReproError
 from ..milp.model import CompiledModel, LinearModel, MilpSolution
 from .registry import BackendSpec, resolve_backend
@@ -208,7 +209,7 @@ class SolverPool:
         self._ctx = (
             multiprocessing.get_context(mp_context) if mp_context else _default_context()
         )
-        self._lock = threading.Lock()
+        self._lock = racecheck.tracked_lock("solver.pool")
         self._queue: deque[_PendingSolve] = deque()
         self._request_ids = itertools.count(1)
         self._stats = PoolStats()
@@ -423,14 +424,19 @@ class SolverPool:
                 continue
             server.current = pending
 
-    def _fail_or_retry_locked(self, pending: _PendingSolve | None, error: Exception) -> None:
+    def _fail_or_retry_locked(
+        self,
+        pending: _PendingSolve | None,
+        error: Exception,
+        settlements: "list[tuple[Future, Exception | None, Any]]",
+    ) -> None:
         if pending is None:
             return
         if isinstance(error, SolverServerCrashError) and pending.attempts <= self.max_retries:
             self._stats.retries += 1
             self._queue.appendleft(pending)
         else:
-            pending.future.set_exception(error)
+            settlements.append((pending.future, error, None))
 
     def _manage(self) -> None:
         while True:
@@ -451,6 +457,13 @@ class SolverPool:
                 except (EOFError, OSError):
                     pass
             now = time.monotonic()
+            # Futures are settled only *after* the lock is released: a done
+            # callback may take its owner's lock (the fabric's _local_done
+            # takes the fabric client lock), and that owner may hold its
+            # lock while calling submit() — settling under our lock is a
+            # lock-order inversion away from a deadlock (racecheck catches
+            # exactly this nesting).
+            settlements: "list[tuple[Future, Exception | None, Any]]" = []
             with self._lock:
                 if self._closed:
                     return
@@ -464,7 +477,7 @@ class SolverPool:
                         while server.conn.poll():
                             message = server.conn.recv()
                             got_message = True
-                            self._complete_locked(server, message)
+                            self._complete_locked(server, message, settlements)
                             break
                     except (EOFError, OSError):
                         got_message = False
@@ -481,6 +494,7 @@ class SolverPool:
                                 f"solver server died during solve "
                                 f"(request {pending.request_id}, attempt {pending.attempts})"
                             ),
+                            settlements,
                         )
                         continue
                     # 3. The hard deadline passed: kill + restart the server.
@@ -499,9 +513,19 @@ class SolverPool:
                         # killed — the service records this as the solve's
                         # wall time instead of the time since batch start.
                         timeout_error.solve_wall_time = now - pending.dispatched_at
-                        self._fail_or_retry_locked(pending, timeout_error)
+                        self._fail_or_retry_locked(pending, timeout_error, settlements)
+            for future, error, solution in settlements:
+                if error is not None:
+                    future.set_exception(error)
+                else:
+                    future.set_result(solution)
 
-    def _complete_locked(self, server: _Server, message: tuple) -> None:
+    def _complete_locked(
+        self,
+        server: _Server,
+        message: tuple,
+        settlements: "list[tuple[Future, Exception | None, Any]]",
+    ) -> None:
         pending = server.current
         server.current = None
         if pending is None or message[0] != pending.request_id:
@@ -519,7 +543,7 @@ class SolverPool:
                 max(0.0, pending.dispatched_at - pending.submitted_at),
             )
             self._stats.completed += 1
-            pending.future.set_result(solution)
+            settlements.append((pending.future, None, solution))
         elif message[1] == "raise":
             _, _, exc, remote_traceback = message
             self._stats.completed += 1
@@ -528,17 +552,27 @@ class SolverPool:
                 # and inline solves identically; the remote traceback rides
                 # along for debugging.
                 exc.remote_traceback = remote_traceback
-                pending.future.set_exception(exc)
+                settlements.append((pending.future, exc, None))
             else:
-                pending.future.set_exception(
-                    SolverBackendError(
-                        f"{type(exc).__name__}: {exc}\n--- remote traceback ---\n"
-                        f"{remote_traceback}"
+                settlements.append(
+                    (
+                        pending.future,
+                        SolverBackendError(
+                            f"{type(exc).__name__}: {exc}\n--- remote traceback ---\n"
+                            f"{remote_traceback}"
+                        ),
+                        None,
                     )
                 )
         else:
             _, _, summary, remote_traceback = message
             self._stats.completed += 1
-            pending.future.set_exception(
-                SolverBackendError(f"{summary}\n--- remote traceback ---\n{remote_traceback}")
+            settlements.append(
+                (
+                    pending.future,
+                    SolverBackendError(
+                        f"{summary}\n--- remote traceback ---\n{remote_traceback}"
+                    ),
+                    None,
+                )
             )

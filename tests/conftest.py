@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import racecheck
 from repro.core import Instance
 from repro.generators import (
     bag_heavy_instance,
@@ -13,6 +14,31 @@ from repro.generators import (
     two_size_instance,
     uniform_random_instance,
 )
+
+
+# ----------------------------------------------------------------------
+# Race checker (REPRO_RACECHECK=1 runs the whole suite under it)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session", autouse=True)
+def _racecheck_gate():
+    """Fail the session if racecheck violations leaked past their tests.
+
+    With ``REPRO_RACECHECK=1`` every tracked lock and store raises at the
+    offending site, so violations normally fail their own test; this gate
+    catches the ones raised on daemon threads (where the exception dies
+    with the thread) or swallowed by broad handlers.  Tests that *seed*
+    violations deliberately (``tests/test_analysis.py``) reset the global
+    record behind themselves.
+    """
+    if racecheck.enabled():
+        racecheck.reset()
+    yield
+    if racecheck.enabled():
+        leaked = racecheck.violations()
+        assert not leaked, (
+            "racecheck violations recorded on paths that did not fail a "
+            f"test: {[str(v) for v in leaked]}"
+        )
 
 
 # ----------------------------------------------------------------------

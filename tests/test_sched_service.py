@@ -382,6 +382,185 @@ class TestScheduleService:
             server.shutdown()
 
 
+class TestErrorRetries:
+    """``retry_errors``: deliberate re-submission re-opens errored rows."""
+
+    @staticmethod
+    def _flaky_execute(monkeypatch, fail_first: int):
+        from repro.service import requests as requests_module
+
+        real = requests_module.execute_request
+        calls = {"n": 0}
+
+        def flaky(request):
+            calls["n"] += 1
+            if calls["n"] <= fail_first:
+                raise RuntimeError("transient backend failure")
+            return real(request)
+
+        monkeypatch.setattr("repro.service.server.execute_request", flaky)
+        return calls
+
+    def test_default_keeps_error_rows_closed(self, tmp_path, monkeypatch):
+        calls = self._flaky_execute(monkeypatch, fail_first=1)
+        server = ScheduleServer(tmp_path / "sched.db", port=0)
+        try:
+            instance = _instance([3.0, 1.0], [0, 1], 2, "no-retry")
+            params = _submit_params(instance)
+            first = server.dispatch({"id": 1, "method": "submit", "params": params})
+            assert first["error"]["type"] == "RuntimeError"
+            # A fresh re-submission parks on the same errored row: no
+            # second execution, same failure back.
+            second = server.dispatch({"id": 2, "method": "submit", "params": params})
+            assert "error" in second
+            assert calls["n"] == 1
+        finally:
+            server.shutdown()
+
+    def test_retry_errors_reopens_the_row_once(self, tmp_path, monkeypatch):
+        calls = self._flaky_execute(monkeypatch, fail_first=1)
+        server = ScheduleServer(tmp_path / "sched.db", port=0, retry_errors=1)
+        try:
+            instance = _instance([3.0, 1.0], [0, 1], 2, "retry-once")
+            params = _submit_params(instance)
+            first = server.dispatch({"id": 1, "method": "submit", "params": params})
+            assert first["error"]["type"] == "RuntimeError"
+            second = server.dispatch({"id": 2, "method": "submit", "params": params})
+            assert "error" not in second, second
+            expected = float(lpt_schedule(instance).makespan)
+            assert second["result"]["makespan"] == expected
+            assert calls["n"] == 2
+            assert server.dispatch(
+                {"id": 3, "method": "schedule_info", "params": {}}
+            )["result"]["retry_errors"] == 1
+        finally:
+            server.shutdown()
+
+    def test_retry_budget_is_per_content(self, tmp_path, monkeypatch):
+        calls = self._flaky_execute(monkeypatch, fail_first=3)
+        server = ScheduleServer(tmp_path / "sched.db", port=0, retry_errors=1)
+        try:
+            instance = _instance([3.0, 1.0], [0, 1], 2, "budget")
+            params = _submit_params(instance)
+            for request_id in (1, 2):
+                reply = server.dispatch(
+                    {"id": request_id, "method": "submit", "params": params}
+                )
+                assert "error" in reply
+            # Budget of 1 spent: the third submission must not re-execute.
+            third = server.dispatch({"id": 3, "method": "submit", "params": params})
+            assert "error" in third
+            assert calls["n"] == 2
+        finally:
+            server.shutdown()
+
+    def test_op_id_replay_never_consumes_a_retry(self, tmp_path):
+        """A client resend with its original op id replays the recorded
+        reply — it must not re-enter admission, bump counters, or re-solve."""
+        server = ScheduleServer(tmp_path / "sched.db", port=0, retry_errors=3)
+        try:
+            instance = _instance([3.0, 2.0], [0, 1], 2, "replay")
+            request = {
+                "id": 1,
+                "method": "submit",
+                "params": _submit_params(instance),
+                "op": "op-replay-1",
+            }
+            first = server.dispatch(request)
+            assert "error" not in first
+            before = server.telemetry()
+            replay = server.dispatch({**request, "id": 2})
+            assert replay.get("replayed") is True
+            assert replay["result"] == first["result"]
+            assert server.telemetry() == before
+        finally:
+            server.shutdown()
+
+    def test_negative_retry_errors_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ScheduleServer(tmp_path / "sched.db", port=0, retry_errors=-1)
+
+
+class TestTelemetryTail:
+    """Counters that never reach a completed row survive a restart."""
+
+    def test_tail_roundtrip_on_the_store(self, tmp_path):
+        with ExperimentStore(tmp_path / "tail.db") as store:
+            assert store.service_telemetry_tail() == {}
+            store.set_service_telemetry_tail({"rejected": 2, "requests": 3, "x": 0})
+            assert store.service_telemetry_tail() == {"rejected": 2, "requests": 3}
+            store.set_service_telemetry_tail({"rejected": 5})
+            assert store.service_telemetry_tail() == {"rejected": 5}
+
+    def test_rejected_counters_survive_restart(self, tmp_path):
+        db = tmp_path / "sched.db"
+        server = ScheduleServer(db, port=0, budget=0.5)
+        try:
+            instance = _instance([2.0, 1.0], [0, 1], 2, "tail-reject")
+            reply = server.dispatch(
+                {"id": 1, "method": "submit", "params": _submit_params(instance)}
+            )
+            assert reply["error"]["type"] == "AdmissionError"
+            assert server.telemetry()["rejected"] == 1
+        finally:
+            server.shutdown()
+        # Rejections never produce journal rows; before the tail they lived
+        # only in process memory and a restart silently zeroed them.
+        server = ScheduleServer(db, port=0)
+        try:
+            telemetry = server.telemetry()
+            assert telemetry["rejected"] == 1
+            assert telemetry["requests"] == 1
+        finally:
+            server.shutdown()
+
+    def test_totals_combine_row_deltas_and_tail(self, tmp_path):
+        db = tmp_path / "sched.db"
+        server = ScheduleServer(db, port=0, budget=None)
+        try:
+            solved = _instance([4.0, 1.0], [0, 1], 2, "tail-solve")
+            reply = server.dispatch(
+                {"id": 1, "method": "submit", "params": _submit_params(solved)}
+            )
+            assert "error" not in reply
+        finally:
+            server.shutdown()
+        server = ScheduleServer(db, port=0, budget=0.0)
+        try:
+            rejected = _instance([9.0, 1.0], [0, 1], 2, "tail-rejected")
+            server.dispatch(
+                {"id": 2, "method": "submit", "params": _submit_params(rejected)}
+            )
+        finally:
+            server.shutdown()
+        server = ScheduleServer(db, port=0)
+        try:
+            telemetry = server.telemetry()
+            assert telemetry["requests"] == 2
+            assert telemetry["solves"] == 1
+            assert telemetry["rejected"] == 1
+        finally:
+            server.shutdown()
+
+    def test_export_rolls_the_tail_into_the_table_note(self, tmp_path):
+        from repro.orchestration.export import service_table
+
+        db = tmp_path / "sched.db"
+        server = ScheduleServer(db, port=0, budget=0.5)
+        try:
+            instance = _instance([2.0, 1.0], [0, 1], 2, "tail-export")
+            server.dispatch(
+                {"id": 1, "method": "submit", "params": _submit_params(instance)}
+            )
+        finally:
+            server.shutdown()
+        with ExperimentStore(db) as store:
+            table = service_table(store)
+        notes = " | ".join(table.notes)
+        assert "1 requests" in notes
+        assert "1 rejected" in notes
+
+
 class TestEndpointParsing:
     def test_default_port(self):
         assert parse_schedule_endpoint("example.org") == ("example.org", 7481)
