@@ -17,7 +17,7 @@ incident behind each):
 ``cache-owned-close`` the cache layer never closes caller-owned stores
 ``reparent-watch``    spawned server processes must watch for re-parenting
 ``wall-clock-key``    no wall clock in cache-key/fingerprint construction
-``telemetry-json``    telemetry dataclass fields must be JSON-serializable
+``telemetry-json``    telemetry dataclass fields and metric values JSON-safe
 ``claim-pairing``     ``claim_next`` callers must complete/fail/reclaim
 ``dispatch-except``   server dispatch must re-raise or reply with a typed error
 ``roster-parity``     CLI solver table and service roster must agree
@@ -499,13 +499,75 @@ def _annotation_is_json_safe(node: ast.expr) -> bool:
     return False
 
 
-def _check_telemetry_json(ctx: ModuleContext) -> Iterator[Finding]:
-    """``*Telemetry`` dataclass fields must be JSON-serializable types.
+# Metric-emission helpers of repro.observability.metrics: their value
+# argument (positional 2 or the amount=/value=/delta= keyword) must be a
+# number — the registry raises TypeError on stringly data, but only at
+# runtime on the instrumented hot path.
+_METRIC_EMIT_NAMES = frozenset({"counter", "gauge", "gauge_add", "observe"})
 
-    Telemetry objects cross the wire and land in journal rows as JSON; a
-    set/ndarray/custom-object field serialises as garbage (or raises) only
-    at runtime, on the reporting path nobody tests under load.
+
+def _metric_value_arg(call: ast.Call) -> ast.expr | None:
+    if len(call.args) >= 2:
+        return call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg in ("amount", "value", "delta"):
+            return keyword.value
+    return None
+
+
+def _is_non_numeric_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return node.value is None or isinstance(node.value, (str, bytes))
+    return isinstance(node, (ast.Dict, ast.List, ast.Set, ast.Tuple, ast.JoinedStr))
+
+
+def _metrics_bare_names(ctx: ModuleContext) -> set[str]:
+    """Emission helpers imported bare from an observability/metrics module."""
+    names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            module = node.module.lower()
+            if "observability" in module or "metrics" in module:
+                for alias in node.names:
+                    if alias.name in _METRIC_EMIT_NAMES:
+                        names.add(alias.asname or alias.name)
+    return names
+
+
+def _check_telemetry_json(ctx: ModuleContext) -> Iterator[Finding]:
+    """Telemetry payloads must be JSON-safe: dataclass fields and metrics.
+
+    ``*Telemetry`` dataclass objects cross the wire and land in journal
+    rows as JSON; a set/ndarray/custom-object field serialises as garbage
+    (or raises) only at runtime, on the reporting path nobody tests under
+    load.  The same contract covers the metrics registry: a non-numeric
+    literal passed to ``counter``/``gauge``/``gauge_add``/``observe``
+    raises ``TypeError`` only when the instrumented hot path actually runs.
     """
+    bare_names = _metrics_bare_names(ctx)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr not in _METRIC_EMIT_NAMES:
+                continue
+            receiver = (_receiver_name(node) or "").lower()
+            if "metrics" not in receiver and "registry" not in receiver:
+                continue
+            label = f"{_receiver_name(node)}.{node.func.attr}"
+        elif isinstance(node.func, ast.Name) and node.func.id in bare_names:
+            label = node.func.id
+        else:
+            continue
+        value = _metric_value_arg(node)
+        if value is not None and _is_non_numeric_literal(value):
+            yield _finding(
+                ctx,
+                "telemetry-json",
+                node,
+                f"non-numeric literal {ast.unparse(value)!r} passed to "
+                f"{label}(): metric values must be JSON-safe numbers",
+            )
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.ClassDef) or not node.name.endswith("Telemetry"):
             continue
@@ -798,7 +860,7 @@ RULES: tuple[LintRule, ...] = (
     ),
     LintRule(
         "telemetry-json",
-        "telemetry dataclass fields must be JSON-serializable",
+        "telemetry dataclass fields and metric values must be JSON-safe",
         _check_telemetry_json,
     ),
     LintRule(

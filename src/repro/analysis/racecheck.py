@@ -46,12 +46,15 @@ owner's lock) is never an edge.
 
 from __future__ import annotations
 
+import atexit
+import json
 import os
 import threading
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 __all__ = [
     "ENV_RACECHECK",
+    "ENV_RACECHECK_DUMP",
     "LockOrderViolation",
     "StoreThreadViolation",
     "RacecheckViolation",
@@ -66,9 +69,17 @@ __all__ = [
     "tracked_condition",
     "guard_store",
     "wrap_store_connection",
+    "dump_edges",
+    "edges_to_dot",
 ]
 
 ENV_RACECHECK = "REPRO_RACECHECK"
+
+# When set to a path, the process writes its observed lock-order graph
+# there at exit (JSON: {"edges": [[src, dst], ...], "violations": [...]}).
+# CI's smoke jobs set it on one worker and archive the rendered DOT via
+# ``repro racecheck-dump``.
+ENV_RACECHECK_DUMP = "REPRO_RACECHECK_DUMP"
 
 
 class RacecheckViolation(RuntimeError):
@@ -430,3 +441,46 @@ def iter_edges() -> Iterator[tuple[str, str]]:
         for src, dsts in _edges.items():
             for dst in sorted(dsts):
                 yield (src, dst)
+
+
+def dump_edges(path: "str | os.PathLike[str]") -> int:
+    """Write the observed lock-order graph to ``path`` as JSON.
+
+    The payload is ``{"edges": [[src, dst], ...], "violations": [str, ...]}``
+    — the input format of ``repro racecheck-dump``, which renders it to DOT
+    for CI artifacts.  Returns the number of edges written.
+    """
+    edges = sorted(iter_edges())
+    payload = {
+        "edges": [list(edge) for edge in edges],
+        "violations": [str(violation) for violation in violations()],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(edges)
+
+
+def edges_to_dot(edges: Iterable[tuple[str, str]]) -> str:
+    """Render ordering edges as a Graphviz digraph (lock classes as nodes)."""
+    lines = ["digraph lock_order {", "  rankdir=LR;", "  node [shape=box];"]
+    for src, dst in sorted(set(tuple(edge) for edge in edges)):
+        lines.append(f'  "{src}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _dump_at_exit() -> None:  # pragma: no cover - exercised via subprocess
+    target = os.environ.get(ENV_RACECHECK_DUMP)
+    if not target:
+        return
+    try:
+        dump_edges(target)
+    except OSError:
+        # Best-effort: a failed diagnostics dump must not turn a clean
+        # worker exit into a traceback.
+        pass
+
+
+if os.environ.get(ENV_RACECHECK_DUMP):
+    atexit.register(_dump_at_exit)

@@ -111,6 +111,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
 
+    racecheck_dump = sub.add_parser(
+        "racecheck-dump",
+        help="render the race checker's observed lock-order graph "
+        "(live, or from a $REPRO_RACECHECK_DUMP JSON file) as DOT or JSON",
+    )
+    racecheck_dump.add_argument(
+        "input",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="edges JSON written by a REPRO_RACECHECK_DUMP=path process "
+        "(default: this process's live graph)",
+    )
+    racecheck_dump.add_argument(
+        "--format",
+        choices=("dot", "json"),
+        default="dot",
+        help="output format (default: dot, for Graphviz/CI artifacts)",
+    )
+    racecheck_dump.add_argument(
+        "--output", "-o", type=Path, default=None, help="write here instead of stdout"
+    )
+
     orch = sub.add_parser(
         "orch", help="persistent parallel experiment orchestration (SQLite-backed)"
     )
@@ -506,6 +529,53 @@ def build_parser() -> argparse.ArgumentParser:
     orch_status = orch_sub.add_parser("status", help="per-experiment status counts")
     _add_db(orch_status)
     _add_connect(orch_status)
+    orch_status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the dashboard snapshot JSON (the /snapshot.json shape) "
+        "instead of the table",
+    )
+
+    orch_dashboard = orch_sub.add_parser(
+        "dashboard",
+        help="live HTML dashboard (+ JSON snapshot and Prometheus /metrics) "
+        "over a store file or a running `repro orch serve` server",
+    )
+    orch_dashboard.add_argument(
+        "experiments",
+        nargs="*",
+        help="restrict the grid sections to these store experiment names "
+        "(default: everything in the store)",
+    )
+    _add_db(orch_dashboard)
+    _add_connect(orch_dashboard)
+    orch_dashboard.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="interface the dashboard binds (default: loopback only)",
+    )
+    orch_dashboard.add_argument(
+        "--http-port",
+        type=int,
+        # Mirrors repro.observability.dashboard.DEFAULT_DASHBOARD_PORT;
+        # literal so building the parser never imports the stack.
+        default=7482,
+        help="HTTP port (default: 7482; 0 = ephemeral, printed on startup)",
+    )
+    orch_dashboard.add_argument(
+        "--refresh",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="snapshot cache lifetime and page poll interval (default: 0.5)",
+    )
+    orch_dashboard.add_argument(
+        "--spans",
+        type=int,
+        default=50,
+        metavar="N",
+        help="journaled trace spans per snapshot (default: 50)",
+    )
 
     orch_priors = orch_sub.add_parser(
         "priors",
@@ -851,6 +921,84 @@ def _cmd_orch_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_orch_dashboard(args: argparse.Namespace) -> int:
+    import signal
+
+    from .observability.dashboard import DashboardServer
+
+    if getattr(args, "connect", None):
+        target: "Path | str" = _connect_target(args.connect)
+    else:
+        target = _orch_db_path(args)
+        if not target.exists():
+            raise SystemExit(
+                f"error: store {target} does not exist "
+                "(point --db at a populated store or --connect at a server)"
+            )
+    server = DashboardServer(
+        target,
+        token=_orch_token(args),
+        host=args.http_host,
+        port=args.http_port,
+        experiments=args.experiments or None,
+        refresh_s=args.refresh,
+        span_limit=args.spans,
+    )
+    print(f"dashboard for {_store_label(args)} on {server.url}", flush=True)
+
+    def _stop(signum: int, frame: object) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        print("dashboard stopped", flush=True)
+    return 0
+
+
+def _cmd_racecheck_dump(args: argparse.Namespace) -> int:
+    from .analysis import racecheck
+
+    if args.input is not None:
+        try:
+            payload = json.loads(args.input.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot read {args.input}: {exc}") from exc
+        edges = [
+            (str(edge[0]), str(edge[1]))
+            for edge in payload.get("edges", [])
+            if isinstance(edge, (list, tuple)) and len(edge) == 2
+        ]
+        violations = [str(v) for v in payload.get("violations", [])]
+    else:
+        edges = sorted(racecheck.iter_edges())
+        violations = [str(v) for v in racecheck.violations()]
+    if args.format == "json":
+        text = (
+            json.dumps(
+                {"edges": [list(edge) for edge in edges], "violations": violations},
+                indent=2,
+            )
+            + "\n"
+        )
+    else:
+        text = racecheck.edges_to_dot(edges)
+    if args.output is not None:
+        args.output.write_text(text, encoding="utf-8")
+        print(f"wrote {len(edges)} edge(s) to {args.output}")
+    else:
+        print(text, end="")
+    if violations:
+        print(
+            f"warning: {len(violations)} recorded violation(s)", file=sys.stderr
+        )
+    return 0
+
+
 def _cmd_orch_solver_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -1070,6 +1218,15 @@ def _cmd_orch_status(args: argparse.Namespace) -> int:
         format_solver_telemetry,
     )
 
+    if args.json:
+        # The same payload the dashboard serves at /snapshot.json, so
+        # scripts scrape one contract regardless of transport.
+        from .observability.dashboard import build_snapshot
+
+        with _open_cli_store(args) as store:
+            print(json.dumps(build_snapshot(store), indent=2, sort_keys=True))
+        return 0
+
     with _open_cli_store(args) as store:
         counts = store.status_counts()
         cache = store.cache_stats()
@@ -1243,6 +1400,7 @@ _ORCH_HANDLERS = {
     "worker": _cmd_orch_worker,
     "plan": _cmd_orch_plan,
     "status": _cmd_orch_status,
+    "dashboard": _cmd_orch_dashboard,
     "priors": _cmd_orch_priors,
     "reset": _cmd_orch_reset,
     "export": _cmd_orch_export,
@@ -1298,6 +1456,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "constants": _cmd_constants,
         "lint": _cmd_lint,
+        "racecheck-dump": _cmd_racecheck_dump,
         "orch": _cmd_orch,
     }
     return handlers[args.command](args)

@@ -35,6 +35,7 @@ import time
 import uuid
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
+from ..observability import events, metrics
 from ..orchestration.store import ClaimedRow, StoredRow
 from .protocol import (
     MUTATING_METHODS,
@@ -89,6 +90,7 @@ class RemoteStore:
         self._sock: socket.socket | None = None
         self._request_id = 0
         self._closed = False
+        self._last_op: str | None = None
         info = self._call("store_info", {})
         self._check_protocol(info)
         if fifo_every is not None:
@@ -97,6 +99,16 @@ class RemoteStore:
             )
         else:
             self.fifo_every = int(info["fifo_every"])
+
+    @property
+    def last_op(self) -> str | None:
+        """Op id of the most recent *successful* mutating call.
+
+        The runner stamps each claimed cell's ``worker.cell`` trace span
+        with this, correlating the cell's execution with the
+        ``claim_next`` chain that handed it out.
+        """
+        return self._last_op
 
     def _check_protocol(self, info: Any) -> None:
         """Fail at connect time on a server speaking another protocol version.
@@ -131,6 +143,7 @@ class RemoteStore:
             raise StoreConnectionError(
                 f"cannot connect to store server at {self.host}:{self.port}: {exc}"
             ) from exc
+        metrics.counter("remote_store.reconnects")
         self._sock = sock
         return sock
 
@@ -153,13 +166,18 @@ class RemoteStore:
         }
         if self._token is not None:
             payload["token"] = self._token
+        op: str | None = None
         if method in MUTATING_METHODS:
-            payload["op"] = uuid.uuid4().hex
+            op = uuid.uuid4().hex
+            payload["op"] = op
         # Serialised before the retry loop: an unframeable *request* (over
         # the frame ceiling, non-JSON value) is a local payload bug — it
         # raises FrameError straight to the caller instead of being retried
         # and misreported as an unreachable server.
         frame = encode_frame(payload)
+        metrics.counter("remote_store.calls")
+        metrics.counter("remote_store.bytes_out", len(frame))
+        started = time.perf_counter()
         last_exc: Exception | None = None
         for attempt in range(self._retries + 1):
             try:
@@ -178,6 +196,7 @@ class RemoteStore:
                 self._disconnect()
                 last_exc = exc
                 if attempt < self._retries:
+                    metrics.counter("remote_store.retries")
                     time.sleep(self._retry_delay * (attempt + 1))
                     continue
                 raise StoreConnectionError(
@@ -195,12 +214,23 @@ class RemoteStore:
                         "ServerClosed", str(error.get("message", ""))
                     )
                     if attempt < self._retries:
+                        metrics.counter("remote_store.retries")
                         time.sleep(self._retry_delay * (attempt + 1))
                         continue
                     raise StoreConnectionError(
                         f"store server at {self.host}:{self.port} is shutting down"
                     ) from last_exc
                 raise_reply_error(error)
+            if op is not None:
+                self._last_op = op
+            if method in events.SPANNED_METHODS:
+                events.emit(
+                    "client.call",
+                    op=op,
+                    actor=f"client:{self.host}:{self.port}",
+                    duration=time.perf_counter() - started,
+                    detail={"method": method, "replayed": bool(reply.get("replayed"))},
+                )
             return reply.get("result")
         raise StoreConnectionError(str(last_exc))  # pragma: no cover - unreachable
 
@@ -426,6 +456,31 @@ class RemoteStore:
 
     def load_cost_priors(self) -> dict[str, dict[str, Any]]:
         return self._call("load_cost_priors", {})
+
+    # ------------------------------------------------------------------
+    # Trace spans
+    # ------------------------------------------------------------------
+    def record_events(
+        self, events: Sequence[Mapping[str, Any]], *, retain: int | None = None
+    ) -> int:
+        return int(
+            self._call(
+                "record_events",
+                {"events": [dict(event) for event in events], "retain": retain},
+            )
+        )
+
+    def fetch_events(
+        self,
+        *,
+        op: str | None = None,
+        kinds: Sequence[str] | None = None,
+        limit: int = 500,
+    ) -> list[dict[str, Any]]:
+        return self._call(
+            "fetch_events",
+            {"op": op, "kinds": list(kinds) if kinds is not None else None, "limit": limit},
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -317,6 +317,19 @@ class StoreProtocol(Protocol):
     def service_telemetry_tail(self) -> dict[str, int]: ...
     def set_service_telemetry_tail(self, counters: Mapping[str, int]) -> None: ...
 
+    # Trace spans (bounded-retention journal written by
+    # repro.observability.events.flush, read by the dashboard)
+    def record_events(
+        self, events: Sequence[Mapping[str, Any]], *, retain: int | None = None
+    ) -> int: ...
+    def fetch_events(
+        self,
+        *,
+        op: str | None = None,
+        kinds: Sequence[str] | None = None,
+        limit: int = 500,
+    ) -> list[dict[str, Any]]: ...
+
     # Introspection
     def status_counts(self) -> dict[str, dict[str, int]]: ...
     def pending_count(self, experiments: Sequence[str] | None = None) -> int: ...
@@ -363,6 +376,8 @@ RPC_METHODS = frozenset(
         "load_cost_priors",
         "service_telemetry_tail",
         "set_service_telemetry_tail",
+        "record_events",
+        "fetch_events",
         "status_counts",
         "pending_count",
         "fetch_rows",
@@ -400,6 +415,7 @@ MUTATING_METHODS = frozenset(
         "publish_replan_epoch",
         "save_cost_priors",
         "set_service_telemetry_tail",
+        "record_events",
         "cache_put",
         "clear_cache",
         "set_fifo_every",

@@ -42,6 +42,7 @@ from collections import OrderedDict
 from typing import Any, Mapping, NoReturn
 
 from ..analysis import racecheck
+from ..observability import events, metrics
 from .protocol import (
     AuthError,
     ConnectionClosed,
@@ -123,9 +124,11 @@ class _Handler(socketserver.BaseRequestHandler):
                 request = recv_frame(self.request)
             except (ConnectionClosed, FrameError, OSError):
                 return  # peer gone or speaking garbage: drop the connection
+            metrics.counter("rpc.frames_in")
             reply = self.server.owner.dispatch(request)  # type: ignore[attr-defined]
             try:
                 send_frame(self.request, reply)
+                metrics.counter("rpc.frames_out")
             except OSError:
                 return
             except (FrameError, TypeError, ValueError) as exc:
@@ -180,6 +183,10 @@ class RpcServer:
     rpc_methods: frozenset[str] = frozenset()
     serialize_dispatch: bool = True
     thread_name: str = "repro-rpc-server"
+    # Methods whose dispatches emit a ``server.dispatch`` trace span keyed
+    # by the request's op id (see repro.observability.events).  Empty by
+    # default: subclasses opt their claim-lifecycle methods in.
+    spanned_methods: frozenset[str] = frozenset()
 
     def __init__(
         self,
@@ -293,6 +300,7 @@ class RpcServer:
         """One request frame → one reply frame (never raises)."""
         request_id = request.get("id")
         method = request.get("method")
+        metrics.counter("rpc.requests")
         # Compared as UTF-8 bytes: compare_digest refuses non-ASCII *str*
         # operands, and raising here would kill the handler with no reply.
         if self._token is not None and not hmac.compare_digest(
@@ -306,6 +314,7 @@ class RpcServer:
             return error_reply(request_id, "BadRequest", "params must be an object")
         op_id = request.get("op")
         if self.serialize_dispatch:
+            started = time.perf_counter()
             with self._lock:
                 if self._closed:
                     return error_reply(
@@ -314,8 +323,14 @@ class RpcServer:
                 if op_id is not None:
                     recorded = self._ops.get(str(op_id))
                     if recorded is not None:
+                        metrics.counter("rpc.op_replays")
                         return {**recorded, "id": request_id, "replayed": True}
-                return self._execute(request_id, method, params, op_id)
+                reply = self._execute(request_id, method, params, op_id)
+            # Span emission and flushing happen after the dispatch lock is
+            # released: the flush re-enters the store through _flush_spans,
+            # which takes the lock itself.
+            self._post_dispatch(method, op_id, time.perf_counter() - started)
+            return reply
         return self._dispatch_concurrent(request_id, method, params, op_id)
 
     def _dispatch_concurrent(
@@ -332,6 +347,7 @@ class RpcServer:
                 if key is not None:
                     recorded = self._ops.get(key)
                     if recorded is not None:
+                        metrics.counter("rpc.op_replays")
                         return {**recorded, "id": request_id, "replayed": True}
                     running = self._inflight_ops.get(key)
                     if running is None:
@@ -347,6 +363,7 @@ class RpcServer:
             # loop re-registers this retry as the new runner, which is the
             # correct outcome: a failed op committed nothing.)
             running.wait()
+        started = time.perf_counter()
         try:
             try:
                 result = encode_result(self._invoke(method, params))
@@ -360,6 +377,7 @@ class RpcServer:
             if key is not None:
                 with self._lock:
                     self._ops.put(key, {"result": result})
+            self._post_dispatch(method, op_id, time.perf_counter() - started)
             return {"id": request_id, "result": result}
         finally:
             if key is not None:
@@ -384,6 +402,21 @@ class RpcServer:
 
     def _invoke(self, method: str, params: dict[str, Any]) -> Any:
         raise NotImplementedError
+
+    def _post_dispatch(self, method: str, op_id: Any, duration: float) -> None:
+        """Trace hook run after a successful dispatch, outside the lock."""
+        if method in self.spanned_methods:
+            events.emit(
+                "server.dispatch",
+                op=str(op_id) if op_id is not None else None,
+                actor=type(self).__name__,
+                duration=duration,
+                detail={"method": method},
+            )
+        self._flush_spans()
+
+    def _flush_spans(self) -> None:
+        """Journal buffered spans; subclasses that own a store override."""
 
     def _error_data(self, exc: Exception) -> dict[str, Any] | None:
         """Structured payload to attach to this exception's error reply."""

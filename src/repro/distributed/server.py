@@ -32,6 +32,7 @@ import os
 from typing import Any
 
 from ..analysis import racecheck
+from ..observability import events
 from ..orchestration.store import ExperimentStore
 from .protocol import PROTOCOL_VERSION, RPC_METHODS
 from .rpc import OP_CACHE_SIZE, RpcServer
@@ -51,6 +52,10 @@ class StoreServer(RpcServer):
     rpc_methods = RPC_METHODS
     serialize_dispatch = True
     thread_name = "repro-store-server"
+    # Claim-lifecycle dispatches get server.dispatch trace spans keyed by
+    # the client's op id, completing the client.call → server.dispatch →
+    # worker.cell chain the dashboard renders.
+    spanned_methods = frozenset({"claim_next", "complete", "fail"})
 
     def __init__(
         self,
@@ -76,7 +81,23 @@ class StoreServer(RpcServer):
         racecheck.guard_store(self._store, self._lock)
 
     def _on_shutdown(self) -> None:
+        # Final span flush: batching may hold a sub-batch tail.
+        events.flush(self._store)
         self._store.close()
+
+    def _flush_spans(self) -> None:
+        # The server's own dispatch spans (and, for in-process fleets, any
+        # client/worker spans sharing this process's buffer) journal
+        # straight into the owned store — batched, because a write
+        # transaction per dispatch would dominate cheap requests.
+        # events.maybe_flush swallows store errors — a trace write must
+        # never fail the dispatch that triggered it.
+        if not events.pending():
+            return
+        with self._lock:
+            if self._closed:
+                return
+            events.maybe_flush(self._store)
 
     def _invoke(self, method: str, params: dict[str, Any]) -> Any:
         if method == "ping":
@@ -93,4 +114,9 @@ class StoreServer(RpcServer):
         if method == "duration_samples" and params.get("since") is not None:
             # JSON turned the (finished_at, id) watermark into a list.
             params = {**params, "since": tuple(params["since"])}
+        if method == "fetch_events":
+            # Read-your-writes for trace readers: journal the batched span
+            # tail before serving the read, so a dashboard polling right
+            # after a drain sees the full chains, not a flush-cycle lag.
+            events.flush(self._store)
         return getattr(self._store, method)(**params)

@@ -1,0 +1,202 @@
+"""Structured trace spans correlated by wire op-ids.
+
+A *span* is one timed hop of a request through the fleet, correlated with
+the other hops of the same logical operation by the **op-id** the
+distributed layer already threads through every mutating RPC
+(:data:`repro.distributed.protocol.MUTATING_METHODS`).  A remote worker's
+claim produces three spans sharing one op::
+
+    client.call      the worker's RemoteStore issuing claim_next
+    server.dispatch  the store server executing it
+    worker.cell      the claimed cell's execution, stamped with the claim op
+
+Spans are process-local until *flushed*: :func:`emit` appends to a bounded
+in-process buffer (a deque — tracing can never exhaust memory, old spans
+fall off), and :func:`flush` journals the drained buffer through
+``StoreProtocol.record_events``, so spans from every process of a fleet
+land in the one store ``events`` table (bounded retention, see
+:meth:`repro.orchestration.store.ExperimentStore.record_events`) and
+survive restarts.  Because ``record_events`` is an ordinary store RPC, a
+remote worker's spans ride its existing :class:`RemoteStore` connection
+unchanged.
+
+Flushing is deliberately best-effort: a span journal write must never fail
+work that already completed, so :func:`flush` swallows store errors and
+counts them in ``events.flush_errors`` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable, Mapping
+
+from . import metrics
+
+__all__ = [
+    "FLUSH_BATCH",
+    "FLUSH_INTERVAL_S",
+    "MAX_BUFFERED_SPANS",
+    "SPANNED_METHODS",
+    "emit",
+    "pending",
+    "drain",
+    "flush",
+    "maybe_flush",
+    "span",
+    "chains",
+]
+
+# Buffer ceiling: tracing is diagnostics, not a durability queue — when no
+# flusher keeps up, the oldest spans fall off rather than growing the heap.
+MAX_BUFFERED_SPANS = 1024
+
+# Batched-flush policy for :func:`maybe_flush`: journal when this many
+# spans have accumulated, or this long after the previous flush, whichever
+# comes first.  Each flush is one store write transaction — on hot
+# dispatch paths (the service's duplicate-heavy cache hits run at
+# hundreds of requests/s) a flush per dispatch would cost more than the
+# request itself, so servers trade bounded staleness for amortization.
+FLUSH_BATCH = 64
+FLUSH_INTERVAL_S = 1.0
+
+# The claim lifecycle is the trace worth correlating end-to-end; read-only
+# polls (status/snapshot traffic) would drown it in noise.  The journal
+# methods themselves are deliberately absent — a flush must not generate
+# the spans the next flush would carry.
+SPANNED_METHODS = frozenset({"claim_next", "complete", "fail", "submit"})
+
+_buffer: deque[dict[str, Any]] = deque(maxlen=MAX_BUFFERED_SPANS)
+_buffer_lock = threading.Lock()
+
+
+def emit(
+    kind: str,
+    *,
+    op: str | None = None,
+    actor: str | None = None,
+    duration: float | None = None,
+    detail: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Record one span into the process-local buffer and return it."""
+    span_row: dict[str, Any] = {
+        "kind": str(kind),
+        "op": str(op) if op is not None else None,
+        "actor": str(actor) if actor is not None else None,
+        "ts": time.time(),
+        "duration": float(duration) if duration is not None else None,
+        "detail": dict(detail) if detail else {},
+    }
+    with _buffer_lock:
+        _buffer.append(span_row)
+    return span_row
+
+
+def pending() -> int:
+    """Number of buffered spans awaiting a flush."""
+    with _buffer_lock:
+        return len(_buffer)
+
+
+def drain() -> list[dict[str, Any]]:
+    """Pop and return every buffered span (oldest first)."""
+    with _buffer_lock:
+        spans = list(_buffer)
+        _buffer.clear()
+    return spans
+
+
+def flush(store: Any) -> int:
+    """Journal the buffered spans through ``store.record_events``.
+
+    Best-effort by contract: the store may be mid-restart or the server
+    may predate the events table — either way the spans are dropped and
+    counted, never raised into the caller's claim loop.
+    """
+    global _last_flush
+    spans = drain()
+    if not spans:
+        return 0
+    _last_flush = time.monotonic()
+    try:
+        return int(store.record_events(spans))
+    except Exception:
+        metrics.counter("events.flush_errors")
+        metrics.counter("events.spans_dropped", len(spans))
+        return 0
+
+
+# Monotonic time of the last flush attempt; 0.0 makes the process's first
+# maybe_flush journal immediately.
+_last_flush = 0.0
+
+
+def maybe_flush(store: Any) -> int:
+    """:func:`flush`, rate-limited by the batched-flush policy.
+
+    Dispatch-path callers (the store server, the scheduling service) use
+    this so tracing stays off the per-request critical path; explicit
+    flush points (the worker after each cell, shutdown paths) call
+    :func:`flush` directly.
+    """
+    n = pending()
+    if not n:
+        return 0
+    if n < FLUSH_BATCH and time.monotonic() - _last_flush < FLUSH_INTERVAL_S:
+        return 0
+    return flush(store)
+
+
+class span:
+    """Context manager: time a block and :func:`emit` it on exit.
+
+    The span is emitted even when the block raises, with
+    ``detail["error"]`` set to the exception type name — a trace with the
+    failure hop present beats one that silently ends mid-chain.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        op: str | None = None,
+        actor: str | None = None,
+        detail: Mapping[str, Any] | None = None,
+    ) -> None:
+        self._kind = kind
+        self._op = op
+        self._actor = actor
+        self._detail = dict(detail) if detail else {}
+        self._start = 0.0
+
+    def __enter__(self) -> "span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self._detail["error"] = getattr(exc_type, "__name__", str(exc_type))
+        emit(
+            self._kind,
+            op=self._op,
+            actor=self._actor,
+            duration=time.perf_counter() - self._start,
+            detail=self._detail,
+        )
+
+
+def chains(events: Iterable[Mapping[str, Any]]) -> dict[str, list[dict[str, Any]]]:
+    """Group journaled spans by op-id, each chain in timestamp order.
+
+    Spans without an op (local-only hops) are excluded — a chain is by
+    definition the set of hops one wire op crossed.
+    """
+    grouped: dict[str, list[dict[str, Any]]] = {}
+    for event in events:
+        op = event.get("op")
+        if op:
+            grouped.setdefault(str(op), []).append(dict(event))
+    for spans in grouped.values():
+        spans.sort(key=lambda event: (event.get("ts") or 0.0))
+    return grouped

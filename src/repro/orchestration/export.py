@@ -29,6 +29,7 @@ __all__ = [
     "aggregate_solver_telemetry",
     "format_service_telemetry",
     "format_solver_telemetry",
+    "replan_trend",
     "service_table",
     "FORMATS",
 ]
@@ -280,15 +281,17 @@ def _scheduling_note(done_rows: list[Any]) -> str | None:
     return "scheduling: " + "; ".join(parts)
 
 
-def _replan_trend_note(done_rows: list[Any]) -> str | None:
-    """Cost-model accuracy per re-plan epoch, as a convergence trend.
+def replan_trend(done_rows: list[Any]) -> list[dict[str, Any]]:
+    """Cost-model accuracy per re-plan epoch, one point per epoch.
 
     Every claimed row carries the re-plan epoch it was claimed under; the
     geometric mean of ``cost_estimate / duration`` per epoch shows the
     online refit converging toward 1x (epoch 0 estimates are raw hint
     units, so their ratio is usually off by orders of magnitude — that
-    starting point *is* the story).  Emitted only when re-planning actually
-    fired, i.e. some row was claimed under an epoch > 0.
+    starting point *is* the story).  Each point is
+    ``{"epoch": int, "accuracy": float, "n": int}``; empty when no row
+    carries a usable estimate/duration pair.  Shared by the export note
+    and the dashboard's convergence sparkline.
     """
     by_epoch: dict[int, list[float]] = {}
     for row in done_rows:
@@ -299,13 +302,27 @@ def _replan_trend_note(done_rows: list[Any]) -> str | None:
             and row.duration > 0
         ):
             by_epoch.setdefault(row.epoch, []).append(row.cost_estimate / row.duration)
-    if not by_epoch or max(by_epoch) == 0:
-        return None
-    parts = []
+    trend = []
     for epoch in sorted(by_epoch):
         ratios = by_epoch[epoch]
         gmean = math.exp(sum(math.log(ratio) for ratio in ratios) / len(ratios))
-        parts.append(f"epoch {epoch}: {gmean:.3g}x (n={len(ratios)})")
+        trend.append({"epoch": epoch, "accuracy": gmean, "n": len(ratios)})
+    return trend
+
+
+def _replan_trend_note(done_rows: list[Any]) -> str | None:
+    """:func:`replan_trend` rendered as a one-line convergence note.
+
+    Emitted only when re-planning actually fired, i.e. some row was
+    claimed under an epoch > 0.
+    """
+    trend = replan_trend(done_rows)
+    if not trend or max(point["epoch"] for point in trend) == 0:
+        return None
+    parts = [
+        f"epoch {point['epoch']}: {point['accuracy']:.3g}x (n={point['n']})"
+        for point in trend
+    ]
     return (
         "cost-model accuracy by re-plan epoch (estimate/actual, geometric "
         "mean): " + " -> ".join(parts)

@@ -73,6 +73,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
+from ..observability import events, metrics
 from ..solver import get_solver_service, solver_service_scope
 from . import registry
 from .cache import cache_scope
@@ -267,7 +268,11 @@ def run_worker(
         solver_servers, solver_connect, token=token
     ) as solver_service:
         while True:
+            claim_started = time.perf_counter()
             claimed = store.claim_next(worker_tag, experiments)
+            metrics.observe(
+                "runner.claim_latency_s", time.perf_counter() - claim_started
+            )
             if claimed is None:
                 if store.blocked_count(experiments) == 0:
                     break
@@ -278,29 +283,61 @@ def run_worker(
                 time.sleep(blocked_poll)
                 continue
             report.claimed += 1
+            metrics.counter("runner.claims")
+            # The claim's wire op id (None against a local store): stamping
+            # the execution span with it is what chains client.call →
+            # server.dispatch → worker.cell in the journaled trace.
+            claim_op = getattr(store, "last_op", None)
             start = time.perf_counter()
             solver_before = solver_service.stats()
             try:
                 result = registry.execute_cell(claimed.experiment, claimed.params)
             except Exception:
+                duration = time.perf_counter() - start
                 store.fail(
                     claimed.id,
                     traceback.format_exc(),
-                    duration=time.perf_counter() - start,
+                    duration=duration,
                     worker=worker_tag,
                 )
                 report.errors += 1
+                metrics.counter("runner.failures")
+                events.emit(
+                    "worker.cell",
+                    op=claim_op,
+                    actor=worker_tag,
+                    duration=duration,
+                    detail={
+                        "experiment": claimed.experiment,
+                        "row_id": claimed.id,
+                        "error": True,
+                    },
+                )
             else:
+                duration = time.perf_counter() - start
                 delta = solver_service.stats_delta(solver_before)
                 if delta["solves"]:
                     result = {**result, SOLVER_TELEMETRY_KEY: delta}
                 store.complete(
                     claimed.id,
                     result,
-                    duration=time.perf_counter() - start,
+                    duration=duration,
                     worker=worker_tag,
                 )
                 report.done += 1
+                metrics.counter("runner.completes")
+                metrics.observe("runner.cell_duration_s", duration)
+                events.emit(
+                    "worker.cell",
+                    op=claim_op,
+                    actor=worker_tag,
+                    duration=duration,
+                    detail={"experiment": claimed.experiment, "row_id": claimed.id},
+                )
+            # Journal this cell's spans (plus any client.call spans buffered
+            # alongside them).  Best-effort by contract; against a pre-events
+            # server the spans drop and are counted instead.
+            events.flush(store)
             if replan_every > 0:
                 round_no = store.try_begin_replan(replan_every)
                 if round_no is not None:
@@ -321,6 +358,7 @@ def run_worker(
                     # superseded this one mid-refit) wrote nothing.
                     if not summary["stale"]:
                         report.replans += 1
+                        metrics.counter("runner.replans")
     return report
 
 

@@ -60,6 +60,16 @@ whose estimates actually ordered them).
     ``sha256(instance digest, solver name, config)`` — see
     :mod:`repro.orchestration.cache`.
 
+``events``
+    Trace spans journaled by :mod:`repro.observability.events`: one row
+    per hop of an op-id-correlated chain (client call, server dispatch,
+    worker cell execution), with bounded retention
+    (:data:`EVENTS_RETAIN`) so the table can never outgrow the runs it
+    describes.  Written through :meth:`ExperimentStore.record_events`
+    (an ordinary mutating store method, so remote workers' spans ride
+    their existing ``RemoteStore`` connection) and read back by the
+    dashboard via :meth:`ExperimentStore.fetch_events`.
+
 The store is deliberately connection-per-instance: every worker process
 constructs its own :class:`ExperimentStore` against the shared path.
 """
@@ -75,6 +85,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from ..observability import metrics
+
 __all__ = [
     "ExperimentStore",
     "ClaimedRow",
@@ -82,9 +94,15 @@ __all__ = [
     "canonical_params",
     "params_hash",
     "STATUSES",
+    "EVENTS_RETAIN",
 ]
 
 STATUSES = ("pending", "running", "done", "error")
+
+# Bounded retention for the trace-span journal: record_events trims the
+# events table to the newest this-many rows, so long fleet drains keep a
+# rolling window of recent chains instead of an unbounded log.
+EVENTS_RETAIN = 4000
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -125,6 +143,15 @@ CREATE TABLE IF NOT EXISTS cost_priors (
     hint_scale    REAL,
     updated_at    REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS events (
+    seq      INTEGER PRIMARY KEY AUTOINCREMENT,
+    op       TEXT,
+    kind     TEXT NOT NULL,
+    actor    TEXT,
+    ts       REAL NOT NULL,
+    duration REAL,
+    detail   TEXT
+);
 """
 
 # Scheduling columns arrived after the first released schema; stores created
@@ -141,6 +168,7 @@ _RUNS_MIGRATIONS = {
 _INDEXES = """
 CREATE INDEX IF NOT EXISTS idx_runs_status ON runs (experiment, status);
 CREATE INDEX IF NOT EXISTS idx_runs_claim ON runs (status, deps_pending, priority);
+CREATE INDEX IF NOT EXISTS idx_events_op ON events (op);
 """
 
 
@@ -335,6 +363,7 @@ class ExperimentStore:
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+        metrics.counter("store.claims")
         return ClaimedRow(id=row["id"], experiment=row["experiment"], params=json.loads(row["params"]))
 
     def _next_claim_ordinal(self) -> int:
@@ -402,6 +431,8 @@ class ExperimentStore:
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+        if landed:
+            metrics.counter("store.completes")
         return landed
 
     def _release_dependents(self, row_id: int) -> None:
@@ -491,6 +522,7 @@ class ExperimentStore:
         cursor = self._conn.execute(query, args)
         if cursor.rowcount:
             self.sync_dependencies()
+            metrics.counter("store.reclaims", cursor.rowcount)
         return cursor.rowcount
 
     def reset(
@@ -833,6 +865,7 @@ class ExperimentStore:
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+        metrics.gauge("store.replan_epoch", self._state_value("replan_epoch"))
 
     def _publish_epoch(self, round_no: int) -> None:
         """Monotonic epoch advance; must run inside an open transaction."""
@@ -984,6 +1017,99 @@ class ExperimentStore:
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+
+    # ------------------------------------------------------------------
+    # Trace spans (used by repro.observability.events)
+    # ------------------------------------------------------------------
+    def record_events(
+        self,
+        events: Sequence[Mapping[str, Any]],
+        *,
+        retain: int | None = None,
+    ) -> int:
+        """Journal trace spans, trimming the table to bounded retention.
+
+        Each event is a span dict (``kind`` required; ``op``/``actor``/
+        ``ts``/``duration``/``detail`` optional — see
+        :func:`repro.observability.events.emit`).  Insert and trim happen
+        in one transaction, so the table holds at most the newest
+        ``retain`` (default :data:`EVENTS_RETAIN`) rows no matter how many
+        processes flush into it.  Returns the number of spans inserted.
+        """
+        rows = [
+            (
+                str(event["op"]) if event.get("op") is not None else None,
+                str(event.get("kind") or "event"),
+                str(event["actor"]) if event.get("actor") is not None else None,
+                float(event.get("ts") or time.time()),
+                float(event["duration"]) if event.get("duration") is not None else None,
+                json.dumps(_to_jsonable(event.get("detail") or {})),
+            )
+            for event in events
+        ]
+        if not rows:
+            return 0
+        keep = EVENTS_RETAIN if retain is None else max(0, int(retain))
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.executemany(
+                "INSERT INTO events (op, kind, actor, ts, duration, detail) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.execute(
+                "DELETE FROM events WHERE seq <= "
+                "(SELECT COALESCE(MAX(seq), 0) FROM events) - ?",
+                (keep,),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return len(rows)
+
+    def fetch_events(
+        self,
+        *,
+        op: str | None = None,
+        kinds: Sequence[str] | None = None,
+        limit: int = 500,
+    ) -> list[dict[str, Any]]:
+        """The newest journaled spans, oldest-first, optionally filtered.
+
+        ``op`` restricts to one correlation chain; ``kinds`` to a set of
+        span kinds.  ``limit`` bounds the window (applied to the newest
+        rows *before* re-sorting ascending, so the result is always the
+        most recent slice).
+        """
+        query = "SELECT seq, op, kind, actor, ts, duration, detail FROM events"
+        clauses: list[str] = []
+        args: list[Any] = []
+        if op is not None:
+            clauses.append("op = ?")
+            args.append(str(op))
+        if kinds:
+            clauses.append(f"kind IN ({','.join('?' for _ in kinds)})")
+            args.extend(str(kind) for kind in kinds)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY seq DESC LIMIT ?"
+        args.append(max(0, int(limit)))
+        out = []
+        for row in self._conn.execute(query, args):
+            out.append(
+                {
+                    "seq": int(row["seq"]),
+                    "op": row["op"],
+                    "kind": row["kind"],
+                    "actor": row["actor"],
+                    "ts": float(row["ts"]),
+                    "duration": row["duration"],
+                    "detail": json.loads(row["detail"]) if row["detail"] else {},
+                }
+            )
+        out.reverse()
+        return out
 
     # ------------------------------------------------------------------
     # Introspection

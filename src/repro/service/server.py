@@ -36,6 +36,7 @@ from typing import Any, Mapping
 
 from ..analysis import racecheck
 from ..distributed.rpc import RpcServer
+from ..observability import events, metrics
 from ..orchestration.scheduling import CostModel
 from ..orchestration.store import ExperimentStore, StoredRow, params_hash
 from .requests import (
@@ -82,6 +83,9 @@ class ScheduleServer(RpcServer):
 
     rpc_methods = SCHEDULE_RPC_METHODS
     serialize_dispatch = False
+    # Submissions get server.dispatch spans keyed by the client's op id, so
+    # a service request's admission + solve is traceable like a claim.
+    spanned_methods = frozenset({"submit"})
     thread_name = "repro-schedule-server"
 
     def __init__(
@@ -188,6 +192,8 @@ class ScheduleServer(RpcServer):
             thread.join(timeout=5.0)
         with self._store_lock:
             self._journal_tail()
+            # Final span flush: batching may hold a sub-batch tail.
+            events.flush(self._store)
             self._store.close()
 
     # ------------------------------------------------------------------
@@ -197,6 +203,10 @@ class ScheduleServer(RpcServer):
         with self._telemetry_lock:
             self._totals[key] += amount
             self._unflushed[key] += amount
+        # Mirrored into the process-local metrics registry so a dashboard
+        # scraping this process sees the service counters without a journal
+        # read; the journal (not the registry) stays the durable record.
+        metrics.counter(f"service.{key}", amount)
 
     def _flush_deltas(self) -> dict[str, int]:
         """Counter deltas accumulated since the last completed row."""
@@ -209,6 +219,19 @@ class ScheduleServer(RpcServer):
     def telemetry(self) -> dict[str, int]:
         with self._telemetry_lock:
             return dict(self._totals)
+
+    def _flush_spans(self) -> None:
+        # Journal submit-dispatch spans into the service's own store (the
+        # dashboard reads them back through fetch_events) — batched, so
+        # the duplicate-heavy cache-hit path never pays a write
+        # transaction per request.  events.maybe_flush swallows store
+        # errors by contract.
+        if not events.pending():
+            return
+        with self._store_lock:
+            if self._closing.is_set():
+                return
+            events.maybe_flush(self._store)
 
     def _journal_tail(self) -> None:
         """Journal the unflushed counter snapshot when it has drifted.
@@ -358,9 +381,11 @@ class ScheduleServer(RpcServer):
                 with self._work:
                     self._work.wait(timeout=0.5)
                 continue
+            metrics.gauge_add("service.executors_busy", 1)
             try:
                 self._run_row(tag, row)
             finally:
+                metrics.gauge_add("service.executors_busy", -1)
                 with self._done:
                     self._done.notify_all()
 

@@ -89,6 +89,7 @@ from ..distributed.protocol import (
     send_frame,
 )
 from ..distributed.rpc import RpcServer, knock, raise_reply_error
+from ..observability import metrics
 from ..milp.model import CompiledModel, LinearModel, MilpSolution, SolutionStatus
 from .pool import (
     DEFAULT_TIMEOUT_GRACE,
@@ -397,6 +398,7 @@ class SolverFabricServer(RpcServer):
         hard_timeout = params.get("hard_timeout")
         with self._active_lock:
             self._active += 1
+        metrics.gauge_add("fabric.server.active", 1)
         try:
             future = self._pool.submit(
                 model,
@@ -409,6 +411,7 @@ class SolverFabricServer(RpcServer):
         finally:
             with self._active_lock:
                 self._active -= 1
+            metrics.gauge_add("fabric.server.active", -1)
         total = time.perf_counter() - received
         solve_s = float(solution.diagnostics.get("server_wall_time", total))
         queue_wait = float(
@@ -697,10 +700,12 @@ class SolverFabric:
             if self._closed:
                 raise SolverPoolError("fabric is closed")
             self._stats.submitted += 1
+            metrics.counter("fabric.submitted")
             cached = self._memo.get(content_key)
             if cached is not None:
                 self._memo.move_to_end(content_key)
                 self._stats.cache_hits += 1
+                metrics.counter("fabric.memo_hits")
                 item.settled = True
                 item.future.set_result(self._memo_solution(cached))
                 return item.future
@@ -812,13 +817,16 @@ class SolverFabric:
         with self._lock:
             if item.settled or item.future.done():
                 self._stats.duplicates_dropped += 1
+                metrics.counter("fabric.duplicates_dropped")
                 return
             self._stats.completed += 1
+            metrics.counter("fabric.completed")
             endpoint.completed += 1
             solve_s = solution.diagnostics.get("server_wall_time")
             if solve_s is not None and item.units > 0:
                 sample = float(solve_s) / item.units
                 endpoint.rate = (1 - EWMA_ALPHA) * endpoint.rate + EWMA_ALPHA * sample
+                metrics.gauge(f"fabric.endpoint_rate.{endpoint.label}", endpoint.rate)
             if solution.status in _MEMOIZABLE:
                 self._memo_put_locked(item.content_key, solution)
             self._settle_locked(item, result=solution)
@@ -848,6 +856,7 @@ class SolverFabric:
         with self._lock:
             if item.settled or item.future.done():
                 self._stats.duplicates_dropped += 1
+                metrics.counter("fabric.duplicates_dropped")
                 return
             self._settle_locked(item, error=error)
 
@@ -916,6 +925,7 @@ class SolverFabric:
             with self._lock:
                 if item.settled or item.future.done():
                     self._stats.duplicates_dropped += 1
+                    metrics.counter("fabric.duplicates_dropped")
                     return
                 target = None
                 if not item.stolen:
@@ -925,6 +935,7 @@ class SolverFabric:
                     return
                 item.stolen = True
                 self._stats.steals += 1
+                metrics.counter("fabric.steals")
                 self._enqueue(target, item)
             return
         except Exception as exc:  # timeouts, backend errors: same as a pool
@@ -1130,6 +1141,7 @@ class SolverFabric:
                 return False
             item.stolen = True
             self._stats.steals += 1
+            metrics.counter("fabric.steals")
             self._enqueue(target, item)
             return True
 
@@ -1179,6 +1191,7 @@ class SolverFabric:
                     else:
                         item.stolen = True
                         self._stats.steals += 1
+                        metrics.counter("fabric.steals")
                         self._enqueue(target, item)
             for orphan in orphans:
                 if orphan.settled or orphan.future.done():

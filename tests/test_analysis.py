@@ -14,6 +14,7 @@ same gate CI runs via ``repro lint``.
 
 from __future__ import annotations
 
+import json
 import textwrap
 import threading
 from pathlib import Path
@@ -404,6 +405,65 @@ class TestTelemetryJson:
         )
         assert "telemetry-json" not in rule_ids(findings)
 
+    def test_non_numeric_metric_literal_flagged(self, tmp_path):
+        findings = lint_snippets(
+            tmp_path,
+            bad="""
+            from repro.observability import metrics
+
+            def record():
+                metrics.counter("rpc.requests", "1")
+                metrics.gauge("queue.depth", None)
+                metrics.observe("latency", [0.1, 0.2])
+            """,
+        )
+        flagged = [f for f in findings if f.rule == "telemetry-json"]
+        assert len(flagged) == 3
+
+    def test_bare_imported_emitters_flagged(self, tmp_path):
+        findings = lint_snippets(
+            tmp_path,
+            bad="""
+            from repro.observability.metrics import counter, observe
+
+            def record():
+                counter("a", value="oops")
+                observe("b", f"{1}")
+            """,
+        )
+        flagged = [f for f in findings if f.rule == "telemetry-json"]
+        assert len(flagged) == 2
+
+    def test_numeric_metric_values_pass(self, tmp_path):
+        findings = lint_snippets(
+            tmp_path,
+            good="""
+            from repro.observability import metrics
+
+            def record(elapsed: float, n: int):
+                metrics.counter("rpc.requests")
+                metrics.counter("rpc.bytes", 1024)
+                metrics.gauge("depth", n)
+                metrics.gauge_add("busy", -1)
+                metrics.observe("latency", elapsed)
+            """,
+        )
+        assert "telemetry-json" not in rule_ids(findings)
+
+    def test_unrelated_receivers_out_of_scope(self, tmp_path):
+        findings = lint_snippets(
+            tmp_path,
+            good="""
+            class Tally:
+                def counter(self, name, note):
+                    ...
+
+            def record(tally: Tally):
+                tally.counter("x", "free-text note")  # not a metrics registry
+            """,
+        )
+        assert "telemetry-json" not in rule_ids(findings)
+
 
 # ----------------------------------------------------------------------
 # claim-pairing
@@ -746,6 +806,48 @@ class TestLockOrder:
         racecheck.disable()
         assert not hasattr(racecheck.tracked_lock("x"), "name")
         assert not hasattr(racecheck.tracked_rlock("x"), "name")
+
+
+# ----------------------------------------------------------------------
+# Race checker: edge dumps (CI artifacts)
+# ----------------------------------------------------------------------
+class TestRacecheckDump:
+    def _seed_edges(self, rc):
+        lock_a = rc.tracked_lock("test.outer")
+        lock_b = rc.tracked_lock("test.inner")
+        with lock_a:
+            with lock_b:
+                pass
+
+    def test_dump_edges_writes_json(self, rc, tmp_path):
+        self._seed_edges(rc)
+        out = tmp_path / "edges.json"
+        count = racecheck.dump_edges(out)
+        assert count >= 1
+        payload = json.loads(out.read_text())
+        assert ["test.outer", "test.inner"] in payload["edges"]
+        assert payload["violations"] == []
+
+    def test_edges_to_dot(self):
+        dot = racecheck.edges_to_dot([("a", "b"), ("a", "b"), ("b", "c")])
+        assert dot.startswith("digraph lock_order {")
+        # Duplicate edges collapse to one arrow.
+        assert dot.count('"a" -> "b";') == 1
+        assert '"b" -> "c";' in dot
+
+    def test_cli_round_trips_dump_to_dot(self, rc, tmp_path, capsys):
+        self._seed_edges(rc)
+        dump = tmp_path / "edges.json"
+        racecheck.dump_edges(dump)
+        out = tmp_path / "edges.dot"
+        assert cli_main(["racecheck-dump", str(dump), "-o", str(out)]) == 0
+        assert '"test.outer" -> "test.inner";' in out.read_text()
+
+    def test_cli_json_format_from_live_graph(self, rc, capsys):
+        self._seed_edges(rc)
+        assert cli_main(["racecheck-dump", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert ["test.outer", "test.inner"] in payload["edges"]
 
 
 # ----------------------------------------------------------------------

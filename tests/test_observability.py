@@ -1,0 +1,340 @@
+"""Tests for the live observability layer.
+
+Covers the metrics registry, the span buffer and its journaling through
+the store's ``events`` table (local and over the wire), the dashboard
+snapshot/HTTP surface, and the acceptance path: a live two-worker remote
+drain during which the dashboard endpoints report advancing counters and
+at least one op-correlated client -> server -> worker span chain.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.distributed import RemoteStore, StoreServer
+from repro.observability import events, metrics
+from repro.observability.dashboard import DashboardServer, build_snapshot
+from repro.observability.metrics import MetricsRegistry, render_prometheus
+from repro.orchestration import ExperimentStore, run_workers
+from repro.orchestration.runner import populate
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    """Observability state is process-global; isolate every test."""
+    metrics.reset()
+    events.drain()
+    yield
+    metrics.reset()
+    events.drain()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "obs.sqlite"
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.read()
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.counter("a", 4)
+        assert reg.snapshot()["counters"] == {"a": 5}
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", 7)
+        reg.gauge("depth", 3)
+        reg.gauge_add("depth", -1)
+        assert reg.snapshot()["gauges"] == {"depth": 2}
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for value in (0.002, 0.002, 1.0):
+            reg.observe("lat", value)
+        hist = reg.snapshot()["histograms"]["lat"]
+        assert hist["count"] == 3
+        assert hist["min"] == pytest.approx(0.002)
+        assert hist["max"] == pytest.approx(1.0)
+        assert hist["sum"] == pytest.approx(1.004)
+        # 0.002 lands in the 0.005 bucket, 1.0 in the 2.0 bucket.
+        assert hist["buckets"]["0.005"] == 2
+        assert hist["buckets"]["2.0"] == 1
+
+    def test_non_numeric_values_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TypeError):
+            reg.counter("a", "1")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            reg.gauge("b", None)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            reg.observe("c", True)  # bools are not metric values
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        snap = reg.snapshot()
+        snap["counters"]["a"] = 99
+        assert reg.snapshot()["counters"]["a"] == 1
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b", 1)
+        reg.observe("c", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_snapshot_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("a", 2)
+        reg.observe("c", 0.5)
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_render_prometheus(self):
+        reg = MetricsRegistry()
+        reg.counter("rpc.requests", 3)
+        reg.gauge("queue.depth", 2)
+        reg.observe("claim_s", 0.003)
+        text = render_prometheus(reg.snapshot(), extra_gauges={"rows_done": 5})
+        assert "repro_rpc_requests_total 3" in text
+        assert "repro_queue_depth 2" in text
+        assert 'repro_claim_s_bucket{le="+Inf"} 1' in text
+        assert "repro_claim_s_count 1" in text
+        assert "repro_rows_done 5" in text
+        # Buckets are cumulative: every finite bound >= 0.005 includes it.
+        assert 'repro_claim_s_bucket{le="0.005"} 1' in text
+        assert 'repro_claim_s_bucket{le="60.0"} 1' in text
+
+
+class TestEventBuffer:
+    def test_emit_and_drain(self):
+        events.emit("client.call", op="op-1", actor="t", duration=0.1)
+        events.emit("server.dispatch", op="op-1")
+        assert events.pending() == 2
+        spans = events.drain()
+        assert [s["kind"] for s in spans] == ["client.call", "server.dispatch"]
+        assert spans[0]["op"] == "op-1"
+        assert spans[0]["duration"] == pytest.approx(0.1)
+        assert events.pending() == 0
+
+    def test_buffer_is_bounded(self):
+        for i in range(events.MAX_BUFFERED_SPANS + 50):
+            events.emit("k", op=str(i))
+        spans = events.drain()
+        assert len(spans) == events.MAX_BUFFERED_SPANS
+        # Oldest spans were evicted, newest retained.
+        assert spans[-1]["op"] == str(events.MAX_BUFFERED_SPANS + 49)
+
+    def test_span_context_manager_times_block(self):
+        with events.span("worker.cell", op="op-2", detail={"row_id": 3}):
+            pass
+        (span_row,) = events.drain()
+        assert span_row["kind"] == "worker.cell"
+        assert span_row["op"] == "op-2"
+        assert span_row["duration"] >= 0.0
+        assert span_row["detail"]["row_id"] == 3
+
+    def test_span_context_manager_records_error(self):
+        with pytest.raises(ValueError):
+            with events.span("worker.cell", op="op-3"):
+                raise ValueError("boom")
+        (span_row,) = events.drain()
+        assert span_row["detail"]["error"] == "ValueError"
+
+    def test_flush_is_best_effort(self):
+        class BrokenStore:
+            def record_events(self, spans):
+                raise RuntimeError("mid-restart")
+
+        events.emit("k", op="op-4")
+        assert events.flush(BrokenStore()) == 0
+        assert events.pending() == 0  # dropped, not requeued
+        counters = metrics.snapshot()["counters"]
+        assert counters["events.flush_errors"] == 1
+        assert counters["events.spans_dropped"] == 1
+
+    def test_chains_groups_by_op(self):
+        spans = [
+            {"kind": "server.dispatch", "op": "a", "ts": 2.0},
+            {"kind": "client.call", "op": "a", "ts": 1.0},
+            {"kind": "worker.cell", "op": None, "ts": 3.0},
+            {"kind": "client.call", "op": "b", "ts": 4.0},
+        ]
+        grouped = events.chains(spans)
+        assert set(grouped) == {"a", "b"}
+        assert [s["kind"] for s in grouped["a"]] == ["client.call", "server.dispatch"]
+
+
+class TestEventsTable:
+    def test_record_and_fetch_round_trip(self, db_path):
+        with ExperimentStore(db_path) as store:
+            count = store.record_events(
+                [
+                    {"kind": "client.call", "op": "op-a", "actor": "c", "ts": 1.0},
+                    {
+                        "kind": "server.dispatch",
+                        "op": "op-a",
+                        "duration": 0.25,
+                        "detail": {"method": "complete"},
+                    },
+                    {"kind": "worker.cell", "op": "op-b", "ts": 2.0},
+                ]
+            )
+            assert count == 3
+            rows = store.fetch_events()
+            assert [r["kind"] for r in rows] == [
+                "client.call",
+                "server.dispatch",
+                "worker.cell",
+            ]
+            assert rows[1]["detail"] == {"method": "complete"}
+            assert rows[1]["duration"] == pytest.approx(0.25)
+
+    def test_fetch_filters_by_op_and_kind(self, db_path):
+        with ExperimentStore(db_path) as store:
+            store.record_events(
+                [
+                    {"kind": "client.call", "op": "op-a"},
+                    {"kind": "worker.cell", "op": "op-a"},
+                    {"kind": "client.call", "op": "op-b"},
+                ]
+            )
+            by_op = store.fetch_events(op="op-a")
+            assert [r["kind"] for r in by_op] == ["client.call", "worker.cell"]
+            by_kind = store.fetch_events(kinds=["client.call"])
+            assert {r["op"] for r in by_kind} == {"op-a", "op-b"}
+
+    def test_retention_trims_oldest(self, db_path):
+        with ExperimentStore(db_path) as store:
+            store.record_events(
+                [{"kind": "k", "op": str(i)} for i in range(10)], retain=3
+            )
+            rows = store.fetch_events()
+            assert [r["op"] for r in rows] == ["7", "8", "9"]
+
+    def test_fetch_limit_returns_newest(self, db_path):
+        with ExperimentStore(db_path) as store:
+            store.record_events([{"kind": "k", "op": str(i)} for i in range(5)])
+            rows = store.fetch_events(limit=2)
+            assert [r["op"] for r in rows] == ["3", "4"]
+
+    def test_empty_batch_is_noop(self, db_path):
+        with ExperimentStore(db_path) as store:
+            assert store.record_events([]) == 0
+            assert store.fetch_events() == []
+
+    def test_remote_parity(self, db_path):
+        with ExperimentStore(db_path):
+            pass
+        with StoreServer(db_path, port=0).start() as server:
+            with RemoteStore(server.url) as remote:
+                assert remote.record_events([{"kind": "k", "op": "op-r"}]) == 1
+                rows = remote.fetch_events(op="op-r")
+                assert len(rows) == 1 and rows[0]["kind"] == "k"
+
+
+class TestDashboardSnapshot:
+    def test_snapshot_shape_on_empty_store(self, db_path):
+        with ExperimentStore(db_path) as store:
+            snap = build_snapshot(store)
+        assert snap["totals"]["total"] == 0
+        assert snap["experiments"] == {}
+        assert snap["service"] is None
+        assert snap["spans"] == {"recent": [], "chains": {}}
+        assert set(snap["metrics"]) == {"counters", "gauges", "histograms"}
+        json.dumps(snap)  # the whole snapshot must be JSON-serializable
+
+    def test_snapshot_counts_rows(self, db_path):
+        with ExperimentStore(db_path) as store:
+            populate(store, ["smoke"], quick=True, seed=0)
+            snap = build_snapshot(store)
+            assert snap["totals"]["pending"] == snap["totals"]["total"] > 0
+            assert "smoke" in snap["experiments"]
+
+
+class TestDashboardServer:
+    def test_endpoints_serve_live_store(self, db_path):
+        with ExperimentStore(db_path) as store:
+            populate(store, ["smoke"], quick=True, seed=0)
+        with DashboardServer(db_path, port=0, refresh_s=0.0).start() as server:
+            page = _get(server.url).decode()
+            assert "repro orch dashboard" in page
+            snap = json.loads(_get(server.url + "snapshot.json"))
+            assert snap["totals"]["total"] > 0
+            text = _get(server.url + "metrics").decode()
+            assert "repro_store_rows_pending" in text
+            assert "repro_store_rows_done 0" in text
+
+    def test_unknown_route_is_404(self, db_path):
+        with ExperimentStore(db_path):
+            pass
+        with DashboardServer(db_path, port=0, refresh_s=0.0).start() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "nope")
+            assert excinfo.value.code == 404
+
+
+class TestLiveDrainAcceptance:
+    """The ISSUE acceptance path: dashboard observing a live remote drain."""
+
+    def test_counters_advance_and_chains_correlate(self, db_path):
+        with ExperimentStore(db_path) as store:
+            populate(store, ["smoke"], quick=True, seed=0)
+        with StoreServer(db_path, port=0).start() as server:
+            with DashboardServer(
+                server.url,
+                token=None,
+                port=0,
+                refresh_s=0.0,
+            ).start() as dash:
+                before = json.loads(_get(dash.url + "snapshot.json"))
+                assert before["totals"]["done"] == 0
+
+                report = run_workers(
+                    server.url, ["smoke"], workers=2, stale_after=0.0
+                )
+                assert report.errors == 0 and report.done > 0
+
+                after = json.loads(_get(dash.url + "snapshot.json"))
+                text = _get(dash.url + "metrics").decode()
+
+        # Claim/complete counters advanced monotonically across the drain.
+        assert after["totals"]["done"] > before["totals"]["done"]
+        assert after["totals"]["claimed"] >= after["totals"]["done"]
+        assert after["totals"]["completions"] >= report.done
+        assert f"repro_store_rows_done {after['totals']['done']}" in text
+        assert f"repro_store_completions {after['totals']['completions']}" in text
+
+        # At least one op-id ties all three hops of the chain together:
+        # client.call -> server.dispatch -> worker.cell.
+        chains = after["spans"]["chains"]
+        full = [
+            op
+            for op, spans in chains.items()
+            if {"client.call", "server.dispatch", "worker.cell"}
+            <= {s["kind"] for s in spans}
+        ]
+        assert full, f"no complete span chain in {sorted(chains)}"
+        for op in full:
+            kinds = [s["kind"] for s in chains[op]]
+            assert kinds.index("client.call") < kinds.index("worker.cell")
+
+    def test_status_json_matches_snapshot_shape(self, db_path, capsys):
+        from repro.cli import main
+
+        with ExperimentStore(db_path) as store:
+            populate(store, ["smoke"], quick=True, seed=0)
+        assert main(["orch", "status", "--db", str(db_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {"totals", "experiments", "spans", "metrics"}
+        assert payload["totals"]["pending"] > 0
